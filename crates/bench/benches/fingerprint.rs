@@ -1,0 +1,50 @@
+//! Fingerprint-extraction throughput: the Security Gateway must keep up
+//! with setup bursts on commodity hardware (Table IV row "Fingerprint
+//! extraction").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_devicesim::{catalog, Testbed};
+use sentinel_fingerprint::{extract, FixedFingerprint};
+
+fn extraction(c: &mut Criterion) {
+    let devices = catalog();
+    let testbed = Testbed::new(11);
+    let mut group = c.benchmark_group("fingerprint_extraction");
+    // A short trace (HueSwitch), a typical one (Aria) and the chattiest
+    // one (D-LinkHomeHub).
+    for name in ["HueSwitch", "Aria", "D-LinkHomeHub"] {
+        let device = devices
+            .iter()
+            .find(|d| d.info.identifier == name)
+            .expect("catalog device");
+        let trace = testbed.setup_run(&device.profile, 0);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, trace| {
+            b.iter(|| {
+                let full = extract(&trace.packets);
+                FixedFingerprint::from_fingerprint(&full)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    // Simulator throughput: how fast the lab produces setup runs.
+    let devices = catalog();
+    let testbed = Testbed::new(12);
+    c.bench_function("testbed_setup_run", |b| {
+        let mut run = 0u64;
+        b.iter(|| {
+            run += 1;
+            testbed.setup_run(&devices[(run % 27) as usize].profile, run)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = extraction, trace_generation
+}
+criterion_main!(benches);

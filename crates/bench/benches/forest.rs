@@ -1,0 +1,75 @@
+//! Random Forest scaling: training one classifier per device-type stays
+//! cheap (the "new classifier without relearning" claim, Sect. IV-B.1),
+//! and prediction is microseconds — which is what lets the bank scale to
+//! "thousands of device-types" with classification under 100 ms
+//! (Sect. VI-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_core::{BankConfig, ClassifierBank, FingerprintDataset};
+use sentinel_devicesim::catalog;
+use sentinel_ml::{Dataset, ForestConfig, RandomForest};
+
+fn synthetic(rows: usize, features: usize) -> Dataset {
+    let mut data = Dataset::new(features);
+    let mut row = vec![0.0; features];
+    for i in 0..rows {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = ((i * 31 + j * 17) % 97) as f64;
+        }
+        data.push(&row, i % 2);
+    }
+    data
+}
+
+fn forest_train(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forest_train");
+    group.sample_size(10);
+    // The paper's per-type training set: 20 positives + 200 negatives,
+    // 276 features.
+    for rows in [55usize, 220, 880] {
+        let data = synthetic(rows, 276);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &data, |b, data| {
+            b.iter(|| RandomForest::fit(data, &ForestConfig::default().with_seed(1)))
+        });
+    }
+    group.finish();
+}
+
+fn forest_predict(c: &mut Criterion) {
+    let data = synthetic(220, 276);
+    let forest = RandomForest::fit(&data, &ForestConfig::default().with_seed(1));
+    let row = data.row(0).to_vec();
+    c.bench_function("forest_predict", |b| {
+        b.iter(|| forest.predict(std::hint::black_box(&row)))
+    });
+}
+
+fn incremental_type_addition(c: &mut Criterion) {
+    // Adding the 27th device-type to an existing 26-type bank — the
+    // operation the paper contrasts with multi-class relearning.
+    let devices = catalog();
+    let dataset26 = FingerprintDataset::collect(&devices[..26], 10, 21);
+    let dataset27 = FingerprintDataset::collect(&devices, 10, 21);
+    let config = BankConfig {
+        forest: ForestConfig::default().with_trees(50),
+        ..BankConfig::default()
+    };
+    let mut group = c.benchmark_group("bank");
+    group.sample_size(10);
+    group.bench_function("add_one_type", |b| {
+        b.iter_batched(
+            || ClassifierBank::train(&dataset26, &config),
+            |mut bank| bank.add_type("iKettle2", &dataset27),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = forest_train, forest_predict, incremental_type_addition
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! **Ablation experiments** for the design choices the paper fixes by
+//! "preliminary analysis" (Sect. IV): the 12-packet `F'` truncation, the
+//! 1:10 negative-sampling ratio, the 5 discrimination references, and the
+//! two-stage pipeline itself.
+//!
+//! Each sweep perturbs exactly one knob of the Fig. 5 evaluation and
+//! reports global accuracy.
+//!
+//! ```text
+//! cargo run --release -p sentinel-bench --bin ablation_sweep
+//! cargo run --release -p sentinel-bench --bin ablation_sweep -- --full   # paper-scale CV
+//! ```
+
+use sentinel_bench::cli::Args;
+use sentinel_bench::evaluation::{evaluate, EvalConfig};
+use sentinel_bench::tables;
+use sentinel_core::IdentifyMode;
+
+fn main() {
+    let args = Args::from_env();
+    let base = if args.switch("full") {
+        EvalConfig::default()
+    } else {
+        // 2 repetitions of 5-fold CV keep the whole sweep in ~1 minute.
+        EvalConfig {
+            repetitions: 2,
+            folds: 5,
+            trees: 60,
+            ..EvalConfig::default()
+        }
+    };
+
+    print!("{}", tables::banner("Ablations — design choices of Sect. IV"));
+    println!(
+        "baseline: {} runs/type, {}-fold CV x {} reps, {} trees\n",
+        base.runs, base.folds, base.repetitions, base.trees
+    );
+
+    let run = |label: String, config: EvalConfig| -> Vec<String> {
+        let result = evaluate(&config);
+        vec![
+            label,
+            tables::ratio(result.global_accuracy()),
+            format!("{:.0}%", result.discrimination_rate() * 100.0),
+        ]
+    };
+
+    // Sweep 1: F' truncation length (paper: 12).
+    let mut rows = Vec::new();
+    for packets in [4usize, 8, 12, 16, 20] {
+        let marker = if packets == 12 { " (paper)" } else { "" };
+        rows.push(run(
+            format!("F' = {packets} packets{marker}"),
+            EvalConfig { packets, ..base.clone() },
+        ));
+    }
+    print!("{}", tables::render(&["F' truncation", "Accuracy", "Discrim."], &rows));
+    println!();
+
+    // Sweep 2: negative-sampling ratio (paper: 10).
+    let mut rows = Vec::new();
+    for ratio in [1usize, 3, 10, 25] {
+        let marker = if ratio == 10 { " (paper)" } else { "" };
+        rows.push(run(
+            format!("1:{ratio}{marker}"),
+            EvalConfig { negative_ratio: ratio, ..base.clone() },
+        ));
+    }
+    print!("{}", tables::render(&["Negative ratio", "Accuracy", "Discrim."], &rows));
+    println!();
+
+    // Sweep 3: discrimination references (paper: 5).
+    let mut rows = Vec::new();
+    for references in [1usize, 3, 5, 9] {
+        let marker = if references == 5 { " (paper)" } else { "" };
+        rows.push(run(
+            format!("{references} refs{marker}"),
+            EvalConfig { references, ..base.clone() },
+        ));
+    }
+    print!("{}", tables::render(&["Discrimination refs", "Accuracy", "Discrim."], &rows));
+    println!();
+
+    // Sweep 4: pipeline variants.
+    let mut rows = Vec::new();
+    for (label, mode) in [
+        ("two-stage (paper)", IdentifyMode::TwoStage),
+        ("rf-only", IdentifyMode::RfOnly),
+        ("edit-only", IdentifyMode::EditOnly),
+    ] {
+        rows.push(run(label.to_string(), EvalConfig { mode, ..base.clone() }));
+    }
+    print!("{}", tables::render(&["Pipeline", "Accuracy", "Discrim."], &rows));
+    println!(
+        "\nreading: accuracy saturates around the paper's 12-packet F'; the negative\n\
+         ratio trades rejection power against per-type recall; a handful of\n\
+         references suffice for discrimination; and edit-only matches two-stage\n\
+         accuracy at far higher identification cost (Table IV)."
+    );
+}

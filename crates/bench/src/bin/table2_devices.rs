@@ -1,0 +1,37 @@
+//! Reproduces **Table II**: the list of IoT devices used in the
+//! evaluation and their supported connectivity technologies.
+//!
+//! ```text
+//! cargo run -p sentinel-bench --bin table2_devices
+//! ```
+
+use sentinel_bench::tables;
+use sentinel_devicesim::catalog;
+
+fn main() {
+    print!("{}", tables::banner("Table II — IoT devices used in the evaluation"));
+    let mark = |b: bool| if b { "*" } else { "." }.to_string();
+    let rows: Vec<Vec<String>> = catalog()
+        .iter()
+        .map(|device| {
+            let c = &device.info.connectivity;
+            vec![
+                device.info.identifier.to_string(),
+                device.info.model.to_string(),
+                mark(c.wifi),
+                mark(c.zigbee),
+                mark(c.ethernet),
+                mark(c.zwave),
+                mark(c.other),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        tables::render(
+            &["Identifier", "Device model", "WiFi", "ZigBee", "Eth", "Z-Wave", "Other"],
+            &rows,
+        )
+    );
+    println!("\n(* = supported)");
+}

@@ -1,0 +1,96 @@
+//! Minimal `--flag value` argument parsing shared by the reproduction
+//! binaries (kept dependency-free on purpose).
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments and `--key value` /
+/// `--switch` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (after the binary name).
+    pub fn from_env() -> Args {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(value) if !value.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        out.options.insert(name.to_owned(), value);
+                    }
+                    _ => out.switches.push(name.to_owned()),
+                }
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// The positional arguments.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Whether `--name` was given without a value.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// The value of `--name`, parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message if the value does not parse.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.options.get(name) {
+            None => default,
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid value for --{name}: {raw:?}")),
+        }
+    }
+
+    /// The raw string value of `--name`, if present.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_options_switches_and_positionals() {
+        let args = parse(&["latency", "--runs", "20", "--quick", "--seed", "7"]);
+        assert_eq!(args.positional(), &["latency".to_string()]);
+        assert_eq!(args.get("runs", 0u64), 20);
+        assert_eq!(args.get("seed", 0u64), 7);
+        assert!(args.switch("quick"));
+        assert!(!args.switch("verbose"));
+        assert_eq!(args.get("missing", 42u32), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_value_panics() {
+        let args = parse(&["--runs", "banana"]);
+        let _ = args.get("runs", 0u64);
+    }
+}

@@ -1,0 +1,77 @@
+//! Plain-text rendering helpers for the reproduction binaries.
+
+/// Renders a table with a header row: columns are sized to their widest
+/// cell, left-aligned for the first column and right-aligned otherwise.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let mut push_row = |cells: Vec<String>| {
+        for (i, cell) in cells.iter().enumerate().take(columns) {
+            if i == 0 {
+                out.push_str(&format!("{:<width$}  ", cell, width = widths[0]));
+            } else {
+                out.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    push_row(header.iter().map(|s| s.to_string()).collect());
+    push_row(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        push_row(row.clone());
+    }
+    out
+}
+
+/// Formats a ratio as a fixed-precision decimal (Fig. 5 style).
+pub fn ratio(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// A section banner for experiment output.
+pub fn banner(title: &str) -> String {
+    let bar = "=".repeat(title.len().max(8));
+    format!("{bar}\n{title}\n{bar}\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let out = render(
+            &["Device", "Accuracy"],
+            &[
+                vec!["Aria".into(), "1.000".into()],
+                vec!["D-LinkWaterSensor".into(), "0.515".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Device"));
+        assert!(lines[3].contains("0.515"));
+        // Numeric column right-aligned under its header.
+        assert!(lines[2].ends_with("1.000"));
+    }
+
+    #[test]
+    fn ratio_format() {
+        assert_eq!(ratio(0.8148), "0.815");
+        assert_eq!(ratio(1.0), "1.000");
+    }
+
+    #[test]
+    fn banner_contains_title() {
+        assert!(banner("Table IV").contains("Table IV"));
+    }
+}

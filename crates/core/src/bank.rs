@@ -1,0 +1,215 @@
+//! The "one classifier per device-type" bank (Sect. IV-B.1).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use sentinel_fingerprint::FixedFingerprint;
+use sentinel_ml::sampling::balanced_one_vs_rest;
+use sentinel_ml::{Dataset, ForestConfig, RandomForest};
+
+use crate::FingerprintDataset;
+
+/// Training parameters for a [`ClassifierBank`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankConfig {
+    /// Negative-to-positive sampling ratio for one-vs-rest training (the
+    /// paper trains each classifier on all `n` positives plus `10·n`
+    /// random negatives).
+    pub negative_ratio: usize,
+    /// Random Forest parameters.
+    pub forest: ForestConfig,
+    /// Seed for negative sampling (forests derive their own sub-seeds).
+    pub seed: u64,
+}
+
+impl Default for BankConfig {
+    fn default() -> Self {
+        BankConfig {
+            negative_ratio: 10,
+            forest: ForestConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// One binary Random Forest per known device-type.
+///
+/// New device-types are added with [`ClassifierBank::add_type`] without
+/// touching existing classifiers — the property the paper highlights
+/// over multi-class approaches ("a new classifier is trained without
+/// making any modification to the existing classifiers").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierBank {
+    classifiers: Vec<RandomForest>,
+    type_names: Vec<String>,
+    config: BankConfig,
+}
+
+impl ClassifierBank {
+    /// Trains one classifier per device-type present in `dataset`.
+    pub fn train(dataset: &FingerprintDataset, config: &BankConfig) -> Self {
+        let mut bank = ClassifierBank {
+            classifiers: Vec::with_capacity(dataset.n_types()),
+            type_names: dataset.type_names().to_vec(),
+            config: config.clone(),
+        };
+        for label in 0..dataset.n_types() {
+            bank.classifiers.push(bank.train_one(dataset, label));
+        }
+        bank
+    }
+
+    /// Trains a classifier for one additional device-type and appends
+    /// it, leaving existing classifiers untouched. Returns the new
+    /// type's label.
+    ///
+    /// `dataset` must contain fingerprints labeled with the new type's
+    /// index (i.e. `self.n_types()`).
+    pub fn add_type(&mut self, name: impl Into<String>, dataset: &FingerprintDataset) -> usize {
+        let label = self.classifiers.len();
+        self.type_names.push(name.into());
+        self.classifiers.push(self.train_one(dataset, label));
+        label
+    }
+
+    fn train_one(&self, dataset: &FingerprintDataset, label: usize) -> RandomForest {
+        let positives = dataset.indices_of(label);
+        let negatives: Vec<usize> = (0..dataset.len())
+            .filter(|&i| dataset.label(i) != label)
+            .collect();
+        assert!(
+            !positives.is_empty(),
+            "no fingerprints for type {label} ({})",
+            self.type_names.get(label).map_or("?", |s| s)
+        );
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (label as u64).wrapping_mul(0x9e37_79b9));
+        let (indices, labels) =
+            balanced_one_vs_rest(&positives, &negatives, self.config.negative_ratio, &mut rng);
+        let n_features = dataset.fixed(0).dimensions();
+        let mut training = Dataset::new(n_features);
+        for (&index, &class) in indices.iter().zip(&labels) {
+            training.push(dataset.fixed(index).as_slice(), class);
+        }
+        let forest_config = self
+            .config
+            .forest
+            .clone()
+            .with_seed(self.config.forest.seed ^ (label as u64).wrapping_mul(0x85eb_ca6b));
+        RandomForest::fit(&training, &forest_config)
+    }
+
+    /// Number of device-types the bank recognizes.
+    pub fn n_types(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    /// Device-type names, indexed by label.
+    pub fn type_names(&self) -> &[String] {
+        &self.type_names
+    }
+
+    /// Labels of all device-types whose classifier accepts the
+    /// fingerprint. Empty means *new/unknown device-type*.
+    pub fn matches(&self, fingerprint: &FixedFingerprint) -> Vec<usize> {
+        self.classifiers
+            .iter()
+            .enumerate()
+            .filter(|(_, classifier)| classifier.accepts(fingerprint.as_slice()))
+            .map(|(label, _)| label)
+            .collect()
+    }
+
+    /// Whether type `label`'s classifier accepts the fingerprint.
+    pub fn accepts(&self, label: usize, fingerprint: &FixedFingerprint) -> bool {
+        self.classifiers[label].accepts(fingerprint.as_slice())
+    }
+
+    /// The acceptance vote fraction of type `label` for the fingerprint.
+    pub fn confidence(&self, label: usize, fingerprint: &FixedFingerprint) -> f64 {
+        self.classifiers[label].predict_proba(fingerprint.as_slice())[1]
+    }
+
+    /// Gini feature importances of type `label`'s classifier over the
+    /// `n_features` dimensions of `F'`.
+    pub fn classifier_importances(&self, label: usize, n_features: usize) -> Vec<f64> {
+        self.classifiers[label].feature_importances(n_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_devicesim::catalog;
+
+    fn dataset() -> FingerprintDataset {
+        // Three behaviourally distinct devices keep the test fast.
+        let devices: Vec<_> = catalog().into_iter().take(3).collect();
+        FingerprintDataset::collect(&devices, 8, 3)
+    }
+
+    fn fast_config() -> BankConfig {
+        BankConfig {
+            forest: ForestConfig::default().with_trees(25),
+            ..BankConfig::default()
+        }
+    }
+
+    #[test]
+    fn distinct_types_accepted_by_own_classifier() {
+        let data = dataset();
+        let bank = ClassifierBank::train(&data, &fast_config());
+        assert_eq!(bank.n_types(), 3);
+        // Evaluate on the training data: distinct types must at minimum
+        // separate there.
+        let mut correct = 0;
+        for i in 0..data.len() {
+            let matches = bank.matches(data.fixed(i));
+            if matches == vec![data.label(i)] {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / data.len() as f64 > 0.9,
+            "only {correct}/{} cleanly matched",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn add_type_is_incremental() {
+        let devices: Vec<_> = catalog().into_iter().take(4).collect();
+        let three = FingerprintDataset::collect(&devices[..3], 8, 3);
+        let four = FingerprintDataset::collect(&devices, 8, 3);
+        let mut bank = ClassifierBank::train(&three, &fast_config());
+        let before: Vec<_> = (0..3).map(|l| bank.confidence(l, four.fixed(0))).collect();
+        let label = bank.add_type(devices[3].info.identifier, &four);
+        assert_eq!(label, 3);
+        assert_eq!(bank.n_types(), 4);
+        let after: Vec<_> = (0..3).map(|l| bank.confidence(l, four.fixed(0))).collect();
+        assert_eq!(before, after, "existing classifiers untouched");
+        // The new classifier accepts its own type's training data.
+        let new_idx = four.indices_of(3)[0];
+        assert!(bank.accepts(3, four.fixed(new_idx)));
+    }
+
+    #[test]
+    fn confidence_in_unit_interval() {
+        let data = dataset();
+        let bank = ClassifierBank::train(&data, &fast_config());
+        for i in 0..data.len() {
+            for label in 0..bank.n_types() {
+                let c = bank.confidence(label, data.fixed(i));
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = dataset();
+        let a = ClassifierBank::train(&data, &fast_config());
+        let b = ClassifierBank::train(&data, &fast_config());
+        assert_eq!(a, b);
+    }
+}

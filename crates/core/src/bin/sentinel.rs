@@ -1,0 +1,205 @@
+//! `sentinel` — command-line front end for the IoT Sentinel pipeline.
+//!
+//! ```text
+//! sentinel devices                          list the device-type catalog
+//! sentinel simulate <device> <out.pcap>     export a simulated setup capture
+//! sentinel fingerprint <capture.pcap>       print the capture's fingerprint
+//! sentinel train <model.json>               train and persist the identifier
+//! sentinel identify <capture.pcap>          identify the device-type + verdict
+//!          [--model <model.json>]           (reusing a persisted identifier)
+//! ```
+//!
+//! `identify` trains the IoT Security Service on the built-in catalog
+//! (20 setup runs per type, seed 42 — override with `--runs`/`--seed`)
+//! and then runs the full two-stage pipeline on the capture.
+
+use std::process::ExitCode;
+
+use sentinel_core::{
+    FingerprintDataset, Identifier, IoTSecurityService, SecurityService, ServiceConfig,
+};
+use sentinel_devicesim::{catalog, Testbed};
+use sentinel_fingerprint::{extract, FixedFingerprint, FEATURE_NAMES};
+use sentinel_netproto::pcap::PcapReader;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut runs: u64 = 20;
+    let mut seed: u64 = 42;
+    let mut run: u64 = 0;
+    let mut standby = false;
+    let mut model: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--runs" => runs = parse_flag(iter.next(), "--runs"),
+            "--seed" => seed = parse_flag(iter.next(), "--seed"),
+            "--run" => run = parse_flag(iter.next(), "--run"),
+            "--standby" => standby = true,
+            "--model" => model = iter.next().cloned(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let result = match positional.first().map(String::as_str) {
+        Some("devices") => devices(),
+        Some("simulate") => simulate(&positional[1..], run, seed, standby),
+        Some("fingerprint") => fingerprint(&positional[1..]),
+        Some("train") => train(&positional[1..], runs, seed),
+        Some("identify") => identify(&positional[1..], runs, seed, model.as_deref()),
+        _ => {
+            eprintln!(
+                "usage: sentinel <devices|simulate|fingerprint|identify> …\n\
+                 \n  sentinel devices\
+                 \n  sentinel simulate <device> <out.pcap> [--run N] [--seed S] [--standby]\
+                 \n  sentinel fingerprint <capture.pcap>\
+                 \n  sentinel train <model.json> [--runs N] [--seed S]\
+                 \n  sentinel identify <capture.pcap> [--model model.json] [--runs N] [--seed S]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(value: Option<&String>, name: &str) -> T {
+    value
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+}
+
+fn devices() -> Result<(), Box<dyn std::error::Error>> {
+    for device in catalog() {
+        println!("{:<18} {}", device.info.identifier, device.info.model);
+    }
+    Ok(())
+}
+
+fn simulate(
+    args: &[String],
+    run: u64,
+    seed: u64,
+    standby: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let [device_name, out_path] = args else {
+        return Err("usage: sentinel simulate <device> <out.pcap>".into());
+    };
+    let devices = catalog();
+    let device = devices
+        .iter()
+        .find(|d| d.info.identifier.eq_ignore_ascii_case(device_name))
+        .ok_or_else(|| format!("unknown device {device_name:?} (try `sentinel devices`)"))?;
+    let testbed = Testbed::new(seed);
+    let trace = if standby {
+        testbed.standby_run(&device.profile, run, 3)
+    } else {
+        testbed.setup_run(&device.profile, run)
+    };
+    let file = std::fs::File::create(out_path)?;
+    testbed.export_pcap(&trace, file)?;
+    println!(
+        "wrote {} packets ({} capture of {}, run {run}) to {out_path}",
+        trace.packets.len(),
+        if standby { "standby" } else { "setup" },
+        device.info.identifier
+    );
+    Ok(())
+}
+
+fn read_capture(path: &str) -> Result<Vec<sentinel_netproto::Packet>, Box<dyn std::error::Error>> {
+    let mut reader = PcapReader::new(std::fs::File::open(path)?)?;
+    Ok(reader.read_all()?)
+}
+
+fn fingerprint(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let [path] = args else {
+        return Err("usage: sentinel fingerprint <capture.pcap>".into());
+    };
+    let packets = read_capture(path)?;
+    println!("{}: {} packets", path, packets.len());
+    let full = extract(&packets);
+    let fixed = FixedFingerprint::from_fingerprint(&full);
+    println!(
+        "fingerprint F: {} packet columns (consecutive duplicates removed)",
+        full.len()
+    );
+    println!("fingerprint F': {} dimensions", fixed.dimensions());
+    for (i, vector) in full.iter().take(12).enumerate() {
+        println!(
+            "  p{:<2} protocols [{}] size {} dst#{} ports {}/{}",
+            i + 1,
+            vector.protocols,
+            vector.packet_size,
+            vector.dst_ip_counter,
+            vector.src_port_class.to_u8(),
+            vector.dst_port_class.to_u8(),
+        );
+    }
+    if full.len() > 12 {
+        println!("  … {} more columns", full.len() - 12);
+    }
+    let _ = FEATURE_NAMES; // (feature order documented in sentinel-fingerprint)
+    Ok(())
+}
+
+fn train(args: &[String], runs: u64, seed: u64) -> Result<(), Box<dyn std::error::Error>> {
+    let [out_path] = args else {
+        return Err("usage: sentinel train <model.json>".into());
+    };
+    eprintln!("training the identifier ({runs} runs/type, seed {seed})…");
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, runs, seed);
+    let identifier = Identifier::train(&dataset, &Default::default());
+    let file = std::fs::File::create(out_path)?;
+    identifier.to_json_writer(std::io::BufWriter::new(file))?;
+    println!("wrote trained model ({} device-types) to {out_path}", identifier.type_names().len());
+    Ok(())
+}
+
+fn identify(
+    args: &[String],
+    runs: u64,
+    seed: u64,
+    model: Option<&str>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let [path] = args else {
+        return Err("usage: sentinel identify <capture.pcap>".into());
+    };
+    let packets = read_capture(path)?;
+    let service = match model {
+        Some(model_path) => {
+            eprintln!("loading trained model from {model_path}…");
+            let file = std::fs::File::open(model_path)?;
+            let identifier = Identifier::from_json_reader(std::io::BufReader::new(file))?;
+            IoTSecurityService::from_identifier(identifier)
+        }
+        None => {
+            eprintln!("training the IoT Security Service ({runs} runs/type, seed {seed})…");
+            let devices = catalog();
+            let dataset = FingerprintDataset::collect(&devices, runs, seed);
+            IoTSecurityService::train(&dataset, &ServiceConfig::default())
+        }
+    };
+    let full = extract(&packets);
+    let fixed = FixedFingerprint::from_fingerprint(&full);
+    let response = service.assess(&full, &fixed);
+    println!("identification: {}", response.identification);
+    println!("isolation level: {}", response.isolation);
+    if !response.permitted_endpoints.is_empty() {
+        println!("permitted endpoints: {:?}", response.permitted_endpoints);
+    }
+    if let Some(notice) = &response.user_notification {
+        println!("USER ACTION REQUIRED: {notice}");
+    }
+    Ok(())
+}

@@ -1,0 +1,401 @@
+//! The two-stage identification pipeline (Sect. IV-B).
+//!
+//! Stage 1 feeds `F'` to every per-type classifier. Zero acceptances ⇒
+//! unknown device-type. One acceptance ⇒ done. Several ⇒ stage 2:
+//! compare the full fingerprint `F` against 5 reference fingerprints of
+//! each candidate type with normalized Damerau–Levenshtein distance,
+//! sum per type into a dissimilarity score `s_i ∈ [0, 5]`, and pick the
+//! minimum.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use sentinel_fingerprint::editdist::normalized_distance;
+use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
+use sentinel_ml::sampling::sample_without_replacement;
+
+use crate::report::{Identification, Outcome};
+use crate::{BankConfig, ClassifierBank, FingerprintDataset};
+
+/// Which pipeline variant to run — the ablation axis of
+/// `fig5_accuracy --mode`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum IdentifyMode {
+    /// The paper's pipeline: classifier bank, then edit-distance
+    /// discrimination of multiple matches.
+    #[default]
+    TwoStage,
+    /// Classifier bank only; ties broken by acceptance confidence.
+    RfOnly,
+    /// Edit distance against every type's references (no classifiers) —
+    /// accurate but slow, the paper's argument for the two-stage design.
+    EditOnly,
+}
+
+/// Configuration of an [`Identifier`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdentifierConfig {
+    /// Classifier-bank training parameters.
+    pub bank: BankConfig,
+    /// Reference fingerprints per type used for discrimination (the
+    /// paper uses 5).
+    pub references_per_type: usize,
+    /// Pipeline variant.
+    pub mode: IdentifyMode,
+    /// Seed for reference sampling.
+    pub seed: u64,
+}
+
+impl Default for IdentifierConfig {
+    fn default() -> Self {
+        IdentifierConfig {
+            bank: BankConfig::default(),
+            references_per_type: 5,
+            mode: IdentifyMode::TwoStage,
+            seed: 0,
+        }
+    }
+}
+
+/// The trained identification pipeline: classifier bank plus reference
+/// fingerprints for edit-distance discrimination.
+#[derive(Debug)]
+pub struct Identifier {
+    bank: ClassifierBank,
+    /// All training fingerprints `F`, grouped by type label.
+    references: Vec<Vec<Fingerprint>>,
+    config: IdentifierConfig,
+    rng: Mutex<StdRng>,
+}
+
+/// The serializable snapshot of a trained [`Identifier`] — what an
+/// IoTSSP ships to (or restores from) persistent storage so gateways do
+/// not retrain on every boot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedModel {
+    bank: ClassifierBank,
+    references: Vec<Vec<Fingerprint>>,
+    config: IdentifierConfig,
+}
+
+impl From<&Identifier> for TrainedModel {
+    fn from(identifier: &Identifier) -> Self {
+        TrainedModel {
+            bank: identifier.bank.clone(),
+            references: identifier.references.clone(),
+            config: identifier.config.clone(),
+        }
+    }
+}
+
+impl From<TrainedModel> for Identifier {
+    fn from(model: TrainedModel) -> Self {
+        let rng = Mutex::new(StdRng::seed_from_u64(model.config.seed));
+        Identifier {
+            bank: model.bank,
+            references: model.references,
+            config: model.config,
+            rng,
+        }
+    }
+}
+
+impl Identifier {
+    /// Trains the pipeline on a labeled fingerprint dataset.
+    pub fn train(dataset: &FingerprintDataset, config: &IdentifierConfig) -> Self {
+        let bank = ClassifierBank::train(dataset, &config.bank);
+        let references = (0..dataset.n_types())
+            .map(|label| {
+                dataset
+                    .indices_of(label)
+                    .into_iter()
+                    .map(|i| dataset.full(i).clone())
+                    .collect()
+            })
+            .collect();
+        Identifier {
+            bank,
+            references,
+            config: config.clone(),
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+        }
+    }
+
+    /// The underlying classifier bank.
+    pub fn bank(&self) -> &ClassifierBank {
+        &self.bank
+    }
+
+    /// Serializes the trained pipeline as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error from `serde_json`.
+    pub fn to_json_writer<W: std::io::Write>(&self, writer: W) -> Result<(), serde_json::Error> {
+        serde_json::to_writer(writer, &TrainedModel::from(self))
+    }
+
+    /// Restores a pipeline serialized with [`Identifier::to_json_writer`].
+    /// The discrimination RNG restarts from the config seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or deserialization error from `serde_json`.
+    pub fn from_json_reader<R: std::io::Read>(reader: R) -> Result<Self, serde_json::Error> {
+        let model: TrainedModel = serde_json::from_reader(reader)?;
+        Ok(model.into())
+    }
+
+    /// Device-type names, indexed by label.
+    pub fn type_names(&self) -> &[String] {
+        self.bank.type_names()
+    }
+
+    /// Identifies a device from its fingerprints.
+    pub fn identify(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> Identification {
+        match self.config.mode {
+            IdentifyMode::TwoStage => self.identify_two_stage(full, fixed),
+            IdentifyMode::RfOnly => self.identify_rf_only(fixed),
+            IdentifyMode::EditOnly => {
+                let all: Vec<usize> = (0..self.bank.n_types()).collect();
+                let scores = self.dissimilarity_scores(full, &all);
+                self.pick_minimum(all, scores, false)
+            }
+        }
+    }
+
+    fn identify_two_stage(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> Identification {
+        let candidates = self.bank.matches(fixed);
+        match candidates.len() {
+            0 => Identification {
+                outcome: Outcome::Unknown,
+                candidates,
+                discriminated: false,
+                scores: Vec::new(),
+            },
+            1 => Identification {
+                outcome: Outcome::Identified {
+                    label: candidates[0],
+                    name: self.type_names()[candidates[0]].clone(),
+                },
+                candidates,
+                discriminated: false,
+                scores: Vec::new(),
+            },
+            _ => {
+                let scores = self.dissimilarity_scores(full, &candidates);
+                self.pick_minimum(candidates, scores, true)
+            }
+        }
+    }
+
+    fn identify_rf_only(&self, fixed: &FixedFingerprint) -> Identification {
+        let candidates = self.bank.matches(fixed);
+        if candidates.is_empty() {
+            return Identification {
+                outcome: Outcome::Unknown,
+                candidates,
+                discriminated: false,
+                scores: Vec::new(),
+            };
+        }
+        let best = candidates
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                self.bank
+                    .confidence(a, fixed)
+                    .partial_cmp(&self.bank.confidence(b, fixed))
+                    .expect("finite confidences")
+            })
+            .expect("nonempty candidates");
+        Identification {
+            outcome: Outcome::Identified {
+                label: best,
+                name: self.type_names()[best].clone(),
+            },
+            candidates,
+            discriminated: false,
+            scores: Vec::new(),
+        }
+    }
+
+    /// Sums normalized edit distances to `references_per_type` sampled
+    /// reference fingerprints of each candidate type (the paper's
+    /// `s_i ∈ [0, 5]`).
+    fn dissimilarity_scores(&self, full: &Fingerprint, candidates: &[usize]) -> Vec<f64> {
+        let rng = &mut *self.rng.lock();
+        candidates
+            .iter()
+            .map(|&label| {
+                let pool: Vec<usize> = (0..self.references[label].len()).collect();
+                let chosen =
+                    sample_without_replacement(&pool, self.config.references_per_type, rng);
+                chosen
+                    .into_iter()
+                    .map(|i| normalized_distance(full, &self.references[label][i]))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn pick_minimum(
+        &self,
+        candidates: Vec<usize>,
+        scores: Vec<f64>,
+        discriminated: bool,
+    ) -> Identification {
+        let minimum = scores
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        // Identical-firmware types can produce exactly tied dissimilarity
+        // scores; break ties uniformly so neither twin is systematically
+        // preferred.
+        let tied: Vec<usize> = candidates
+            .iter()
+            .zip(&scores)
+            .filter(|(_, &s)| s <= minimum + 1e-12)
+            .map(|(&c, _)| c)
+            .collect();
+        let best = if tied.len() == 1 {
+            tied[0]
+        } else {
+            use rand::Rng;
+            let rng = &mut *self.rng.lock();
+            tied[rng.gen_range(0..tied.len())]
+        };
+        Identification {
+            outcome: Outcome::Identified {
+                label: best,
+                name: self.type_names()[best].clone(),
+            },
+            candidates,
+            discriminated,
+            scores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_devicesim::{catalog, Testbed};
+    use sentinel_fingerprint::extract;
+    use sentinel_ml::ForestConfig;
+
+    fn fast_config(mode: IdentifyMode) -> IdentifierConfig {
+        IdentifierConfig {
+            bank: BankConfig {
+                forest: ForestConfig::default().with_trees(25),
+                ..BankConfig::default()
+            },
+            mode,
+            ..IdentifierConfig::default()
+        }
+    }
+
+    fn train_on_three() -> (Identifier, FingerprintDataset) {
+        let devices: Vec<_> = catalog().into_iter().take(3).collect();
+        let dataset = FingerprintDataset::collect(&devices, 8, 5);
+        let identifier = Identifier::train(&dataset, &fast_config(IdentifyMode::TwoStage));
+        (identifier, dataset)
+    }
+
+    #[test]
+    fn identifies_held_out_runs_of_known_types() {
+        let (identifier, _) = train_on_three();
+        let devices: Vec<_> = catalog().into_iter().take(3).collect();
+        let testbed = Testbed::new(99); // different campaign seed = held-out runs
+        let mut correct = 0;
+        let mut total = 0;
+        for (label, device) in devices.iter().enumerate() {
+            for run in 0..4 {
+                let trace = testbed.setup_run(&device.profile, run);
+                let full = extract(&trace.packets);
+                let fixed = FixedFingerprint::from_fingerprint(&full);
+                let id = identifier.identify(&full, &fixed);
+                total += 1;
+                if id.label() == Some(label) {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(
+            correct * 10 >= total * 9,
+            "only {correct}/{total} held-out runs identified"
+        );
+    }
+
+    #[test]
+    fn out_of_distribution_device_rejected_by_all_classifiers() {
+        use sentinel_devicesim::{DeviceProfile, Phase, RawDest};
+        // Rejection needs a negative pool that covers the feature space:
+        // train on the full catalog (as the deployed IoTSSP would).
+        let devices = catalog();
+        let dataset = FingerprintDataset::collect(&devices, 6, 5);
+        let mut config = fast_config(IdentifyMode::TwoStage);
+        config.bank.forest = ForestConfig::default().with_trees(15);
+        let identifier = Identifier::train(&dataset, &config);
+        // A device-type unlike anything trained on: pure proprietary
+        // broadcast chatter, no DHCP/DNS/cloud traffic at all.
+        let mut odd = DeviceProfile::new("OddBall", [9, 9, 9]);
+        odd.extend_phases([
+            Phase::UdpRaw { dest: RawDest::Broadcast, port: 7777, sizes: vec![700, 11, 700, 11] },
+            Phase::Ping { count: 3 },
+            Phase::UdpRaw { dest: RawDest::Gateway, port: 7778, sizes: vec![900] },
+        ]);
+        let trace = Testbed::new(1).setup_run(&odd, 0);
+        let full = extract(&trace.packets);
+        let fixed = FixedFingerprint::from_fingerprint(&full);
+        let id = identifier.identify(&full, &fixed);
+        assert_eq!(id.outcome, Outcome::Unknown, "got {id:?}");
+    }
+
+    #[test]
+    fn edit_only_mode_identifies_without_classifiers() {
+        let devices: Vec<_> = catalog().into_iter().take(3).collect();
+        let dataset = FingerprintDataset::collect(&devices, 8, 5);
+        let identifier = Identifier::train(&dataset, &fast_config(IdentifyMode::EditOnly));
+        let trace = Testbed::new(77).setup_run(&devices[1].profile, 0);
+        let full = extract(&trace.packets);
+        let fixed = FixedFingerprint::from_fingerprint(&full);
+        let id = identifier.identify(&full, &fixed);
+        assert_eq!(id.label(), Some(1));
+        assert_eq!(id.candidates.len(), 3, "edit-only scores every type");
+    }
+
+    #[test]
+    fn model_json_roundtrip_preserves_behaviour() {
+        let (identifier, dataset) = train_on_three();
+        let mut buf = Vec::new();
+        identifier.to_json_writer(&mut buf).unwrap();
+        let restored = Identifier::from_json_reader(buf.as_slice()).unwrap();
+        // Identical predictions on the training corpus (RNG restarts from
+        // the same seed, so even tie-breaks agree).
+        for i in 0..dataset.len() {
+            let a = identifier_fresh_identify(&identifier, &dataset, i);
+            let b = identifier_fresh_identify(&restored, &dataset, i);
+            assert_eq!(a.candidates, b.candidates, "sample {i}");
+        }
+    }
+
+    fn identifier_fresh_identify(
+        identifier: &Identifier,
+        dataset: &FingerprintDataset,
+        i: usize,
+    ) -> Identification {
+        identifier.identify(dataset.full(i), dataset.fixed(i))
+    }
+
+    #[test]
+    fn scores_are_bounded_by_reference_count() {
+        let (identifier, dataset) = train_on_three();
+        let id = identifier.identify(dataset.full(0), dataset.fixed(0));
+        for score in &id.scores {
+            assert!((0.0..=5.0).contains(score));
+        }
+    }
+}

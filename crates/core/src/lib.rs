@@ -1,0 +1,74 @@
+//! IoT Sentinel core: automated device-type identification and security
+//! enforcement (the paper's primary contribution).
+//!
+//! The crate wires the substrates together into the two components of
+//! Fig. 1:
+//!
+//! * **[`SecurityGateway`]** — monitors traffic of newly connected
+//!   devices, detects the end of the setup phase, extracts fingerprints
+//!   and enforces the isolation level returned by the security service
+//!   through the SDN switch.
+//! * **[`IoTSecurityService`]** — the IoTSSP backend: a
+//!   [`ClassifierBank`] with one binary Random Forest per known
+//!   device-type, edit-distance discrimination between multiple matches
+//!   (Sect. IV-B), and a vulnerability assessment that maps device-types
+//!   to isolation levels (Sect. III-B).
+//!
+//! # End-to-end example
+//!
+//! ```no_run
+//! use sentinel_core::prelude::*;
+//! use sentinel_devicesim::{catalog, Testbed};
+//!
+//! // Train the IoTSSP on 20 lab setups per device-type.
+//! let devices = catalog();
+//! let dataset = FingerprintDataset::collect(&devices, 20, 42);
+//! let service = IoTSecurityService::train(&dataset, &ServiceConfig::default());
+//!
+//! // A new device joins the user's network.
+//! let gateway = &mut SecurityGateway::new(service);
+//! let trace = Testbed::new(7).setup_run(&devices[0].profile, 99);
+//! for packet in &trace.packets {
+//!     gateway.observe(packet);
+//! }
+//! let report = gateway.finalize(trace.mac).expect("device was monitored");
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod dataset;
+mod gateway;
+mod identify;
+pub mod migration;
+pub mod report;
+mod service;
+pub mod vulndb;
+
+pub use bank::{BankConfig, ClassifierBank};
+pub use dataset::FingerprintDataset;
+pub use gateway::{GatewayConfig, SecurityGateway};
+pub use identify::{Identifier, IdentifierConfig, IdentifyMode, TrainedModel};
+pub use report::{Identification, OnboardingReport, Outcome, ServiceResponse};
+pub use migration::{
+    migrate, LegacyDevice, MigrationOutcome, MigrationRecord, PskPolicy, RekeySupport,
+};
+pub use service::{IoTSecurityService, SecurityService, ServiceConfig};
+
+/// Commonly used types, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use crate::migration::{
+        migrate, LegacyDevice, MigrationOutcome, MigrationRecord, PskPolicy, RekeySupport,
+    };
+    pub use crate::report::{Identification, OnboardingReport, Outcome, ServiceResponse};
+    pub use crate::vulndb::{CveRecord, StaticVulnDb, VulnerabilityDatabase};
+    pub use crate::{
+        BankConfig, ClassifierBank, FingerprintDataset, GatewayConfig, Identifier,
+        IdentifierConfig, IdentifyMode, IoTSecurityService, SecurityGateway, SecurityService,
+        ServiceConfig,
+    };
+    pub use sentinel_fingerprint::{extract, Fingerprint, FixedFingerprint};
+    pub use sentinel_sdn::{EnforcementRule, IsolationLevel};
+}

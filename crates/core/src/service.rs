@@ -1,0 +1,179 @@
+//! The IoT Security Service (IoTSSP, Sect. III-B).
+//!
+//! The service receives device fingerprints from Security Gateways,
+//! identifies the device-type with the two-stage pipeline, assesses its
+//! vulnerability and returns the isolation level (plus the endpoint
+//! whitelist for restricted devices). It stores nothing about its
+//! clients.
+
+use serde::{Deserialize, Serialize};
+
+use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
+
+use crate::report::{Outcome, ServiceResponse};
+use crate::vulndb::{StaticVulnDb, VulnerabilityDatabase};
+use crate::{FingerprintDataset, Identifier, IdentifierConfig};
+
+/// Anything a [`crate::SecurityGateway`] can consult about a new device.
+///
+/// The paper's gateways reach the IoTSSP over the network (optionally
+/// via Tor); in-process implementations stand in for that RPC.
+pub trait SecurityService {
+    /// Identifies a fingerprint and returns the enforcement decision.
+    fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse;
+}
+
+/// Configuration of an [`IoTSecurityService`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Identification-pipeline parameters.
+    pub identifier: IdentifierConfig,
+}
+
+/// The reference IoTSSP implementation: trained identifier + offline
+/// vulnerability database.
+#[derive(Debug)]
+pub struct IoTSecurityService {
+    identifier: Identifier,
+    vulndb: StaticVulnDb,
+}
+
+impl IoTSecurityService {
+    /// Trains the service on a labeled fingerprint corpus, using the
+    /// built-in advisory seed data.
+    pub fn train(dataset: &FingerprintDataset, config: &ServiceConfig) -> Self {
+        Self::train_with_vulndb(dataset, config, StaticVulnDb::with_known_iot_advisories())
+    }
+
+    /// Wraps an already-trained identifier (e.g. restored with
+    /// [`crate::Identifier::from_json_reader`]) with the built-in
+    /// advisory database.
+    pub fn from_identifier(identifier: crate::Identifier) -> Self {
+        IoTSecurityService {
+            identifier,
+            vulndb: StaticVulnDb::with_known_iot_advisories(),
+        }
+    }
+
+    /// Trains the service with an explicit vulnerability database.
+    pub fn train_with_vulndb(
+        dataset: &FingerprintDataset,
+        config: &ServiceConfig,
+        vulndb: StaticVulnDb,
+    ) -> Self {
+        IoTSecurityService {
+            identifier: Identifier::train(dataset, &config.identifier),
+            vulndb,
+        }
+    }
+
+    /// The identification pipeline (exposed for evaluation harnesses).
+    pub fn identifier(&self) -> &Identifier {
+        &self.identifier
+    }
+
+    /// The vulnerability database.
+    pub fn vulndb(&self) -> &StaticVulnDb {
+        &self.vulndb
+    }
+}
+
+impl SecurityService for IoTSecurityService {
+    fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse {
+        let identification = self.identifier.identify(full, fixed);
+        let type_name = match &identification.outcome {
+            Outcome::Identified { name, .. } => Some(name.clone()),
+            Outcome::Unknown => None,
+        };
+        let isolation = self.vulndb.assess(type_name.as_deref());
+        let permitted_endpoints = type_name
+            .as_deref()
+            .map(|name| self.vulndb.vendor_endpoints(name).to_vec())
+            .filter(|_| isolation == sentinel_sdn::IsolationLevel::Restricted)
+            .unwrap_or_default();
+        let user_notification = self.vulndb.removal_notice(type_name.as_deref());
+        ServiceResponse {
+            identification,
+            isolation,
+            permitted_endpoints,
+            user_notification,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BankConfig;
+    use sentinel_devicesim::{catalog, Testbed};
+    use sentinel_fingerprint::extract;
+    use sentinel_ml::ForestConfig;
+    use sentinel_sdn::IsolationLevel;
+
+    fn fast_service(n_devices: usize) -> IoTSecurityService {
+        let devices: Vec<_> = catalog().into_iter().take(n_devices).collect();
+        let dataset = FingerprintDataset::collect(&devices, 8, 5);
+        let config = ServiceConfig {
+            identifier: IdentifierConfig {
+                bank: BankConfig {
+                    forest: ForestConfig::default().with_trees(25),
+                    ..BankConfig::default()
+                },
+                ..IdentifierConfig::default()
+            },
+        };
+        IoTSecurityService::train(&dataset, &config)
+    }
+
+    fn fingerprints_of(device_index: usize, run: u64) -> (Fingerprint, FixedFingerprint) {
+        let devices = catalog();
+        let trace = Testbed::new(31).setup_run(&devices[device_index].profile, run);
+        let full = extract(&trace.packets);
+        let fixed = FixedFingerprint::from_fingerprint(&full);
+        (full, fixed)
+    }
+
+    #[test]
+    fn clean_device_gets_trusted() {
+        // Device 0 (Aria) has no advisisories in the seed database.
+        let service = fast_service(3);
+        let (full, fixed) = fingerprints_of(0, 0);
+        let response = service.assess(&full, &fixed);
+        assert_eq!(response.isolation, IsolationLevel::Trusted);
+        assert!(response.permitted_endpoints.is_empty());
+    }
+
+    #[test]
+    fn unknown_device_gets_strict() {
+        use sentinel_devicesim::{DeviceProfile, Phase, RawDest};
+        let service = fast_service(3);
+        // An out-of-distribution device no classifier should accept.
+        let mut odd = DeviceProfile::new("OddBall", [9, 9, 9]);
+        odd.extend_phases([
+            Phase::UdpRaw { dest: RawDest::Broadcast, port: 7777, sizes: vec![700, 11, 700] },
+            Phase::Ping { count: 3 },
+        ]);
+        let trace = Testbed::new(2).setup_run(&odd, 0);
+        let full = extract(&trace.packets);
+        let fixed = FixedFingerprint::from_fingerprint(&full);
+        let response = service.assess(&full, &fixed);
+        assert_eq!(response.identification.outcome, Outcome::Unknown);
+        assert_eq!(response.isolation, IsolationLevel::Strict);
+    }
+
+    #[test]
+    fn vulnerable_device_gets_restricted_with_whitelist() {
+        // Train on 9 devices so EdimaxCam (index 8) is known.
+        let service = fast_service(9);
+        let (full, fixed) = fingerprints_of(8, 1);
+        let response = service.assess(&full, &fixed);
+        assert_eq!(
+            response.identification.label(),
+            Some(8),
+            "EdimaxCam must be identified: {:?}",
+            response.identification
+        );
+        assert_eq!(response.isolation, IsolationLevel::Restricted);
+        assert!(!response.permitted_endpoints.is_empty());
+    }
+}

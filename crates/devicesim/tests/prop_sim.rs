@@ -1,0 +1,54 @@
+//! Property tests for the device simulator: every catalog profile, under
+//! arbitrary seeds, produces well-formed setup traces.
+
+use proptest::prelude::*;
+
+use sentinel_devicesim::{catalog, Testbed};
+use sentinel_netproto::Packet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn traces_are_wellformed_for_any_seed(seed in any::<u64>(), device in 0usize..27, run in 0u64..1000) {
+        let devices = catalog();
+        let testbed = Testbed::new(seed);
+        let trace = testbed.setup_run(&devices[device].profile, run);
+
+        // Non-empty, monotonic, single-source.
+        prop_assert!(!trace.packets.is_empty());
+        for window in trace.packets.windows(2) {
+            prop_assert!(window[0].timestamp < window[1].timestamp);
+        }
+        for packet in &trace.packets {
+            prop_assert_eq!(packet.src_mac(), trace.mac);
+        }
+        prop_assert_eq!(trace.mac.oui(), devices[device].profile.oui);
+
+        // Every packet survives the wire.
+        for packet in &trace.packets {
+            let parsed = Packet::parse(&packet.encode(), packet.timestamp).expect("roundtrip");
+            prop_assert_eq!(&parsed, packet);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace(seed in any::<u64>(), device in 0usize..27) {
+        let devices = catalog();
+        let a = Testbed::new(seed).setup_run(&devices[device].profile, 7);
+        let b = Testbed::new(seed).setup_run(&devices[device].profile, 7);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprints_are_extractable_from_any_run(seed in any::<u64>(), device in 0usize..27) {
+        let devices = catalog();
+        let trace = Testbed::new(seed).setup_run(&devices[device].profile, 0);
+        let fingerprint = sentinel_fingerprint::extract(&trace.packets);
+        prop_assert!(!fingerprint.is_empty());
+        let fixed = sentinel_fingerprint::FixedFingerprint::from_fingerprint(&fingerprint);
+        prop_assert_eq!(fixed.dimensions(), 276);
+        // The first column of F' is never all-zero for a real trace.
+        prop_assert!(fixed.as_slice()[..23].iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Feature extraction from captured packets.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use sentinel_netproto::Packet;
+
+use crate::{FeatureVector, Fingerprint};
+
+/// Stateful per-device feature extractor.
+///
+/// The extractor owns the destination-IP counter required by the Table I
+/// `Destination IP counter` feature: the `k`-th *distinct* destination
+/// address a device contacts is mapped to `k` (1-based), capturing "the
+/// count and order in which a device communicates with different
+/// entities during its setup procedure".
+///
+/// Feed packets in capture order with [`FeatureExtractor::push`], then
+/// take the fingerprint with [`FeatureExtractor::finish`]. For the common
+/// batch case, use the free function [`extract`].
+#[derive(Debug, Clone, Default)]
+pub struct FeatureExtractor {
+    dst_ip_order: HashMap<IpAddr, u32>,
+    vectors: Vec<FeatureVector>,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts the features of `packet` and appends them.
+    ///
+    /// Returns the extracted vector for callers that want to observe it.
+    pub fn push(&mut self, packet: &Packet) -> &FeatureVector {
+        let counter = match packet.dst_ip() {
+            Some(ip) => {
+                let next = self.dst_ip_order.len() as u32 + 1;
+                *self.dst_ip_order.entry(ip).or_insert(next)
+            }
+            None => 0,
+        };
+        self.vectors.push(FeatureVector::from_packet(packet, counter));
+        self.vectors.last().expect("just pushed")
+    }
+
+    /// The number of packets consumed so far.
+    pub fn packet_count(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Finalizes into a [`Fingerprint`] (dropping consecutive duplicates).
+    pub fn finish(self) -> Fingerprint {
+        Fingerprint::new(self.vectors)
+    }
+}
+
+/// Extracts a [`Fingerprint`] from setup-phase packets in capture order.
+///
+/// ```
+/// use sentinel_fingerprint::extract;
+/// use sentinel_netproto::{MacAddr, Packet};
+///
+/// let mac = MacAddr::new([0, 0, 0, 0, 0, 7]);
+/// let fingerprint = extract(&[Packet::dhcp_discover(mac, 9, 0)]);
+/// assert_eq!(fingerprint.len(), 1);
+/// ```
+pub fn extract(packets: &[Packet]) -> Fingerprint {
+    let mut extractor = FeatureExtractor::new();
+    for packet in packets {
+        extractor.push(packet);
+    }
+    extractor.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_netproto::{AppPayload, MacAddr, Timestamp};
+    use std::net::Ipv4Addr;
+
+    fn mac() -> MacAddr {
+        MacAddr::new([5, 5, 5, 5, 5, 5])
+    }
+
+    fn udp_to(dst: Ipv4Addr, dst_port: u16, t: u64) -> Packet {
+        Packet::udp_ipv4(
+            Timestamp::from_micros(t),
+            mac(),
+            MacAddr::ZERO,
+            Ipv4Addr::new(192, 168, 0, 50),
+            dst,
+            50000,
+            dst_port,
+            AppPayload::Empty,
+        )
+    }
+
+    #[test]
+    fn dst_ip_counter_tracks_first_appearance_order() {
+        let gw = Ipv4Addr::new(192, 168, 0, 1);
+        let cloud = Ipv4Addr::new(52, 1, 2, 3);
+        let packets = [udp_to(gw, 53, 0),
+            udp_to(cloud, 443, 1),
+            udp_to(gw, 53, 2),
+            udp_to(cloud, 443, 3)];
+        let mut extractor = FeatureExtractor::new();
+        let counters: Vec<u32> = packets
+            .iter()
+            .map(|p| extractor.push(p).dst_ip_counter)
+            .collect();
+        assert_eq!(counters, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn packets_without_ip_get_zero_counter() {
+        let probe = Packet::arp_probe(Timestamp::ZERO, mac(), Ipv4Addr::new(10, 0, 0, 1));
+        let mut extractor = FeatureExtractor::new();
+        assert_eq!(extractor.push(&probe).dst_ip_counter, 0);
+        // An ARP probe must not consume a counter slot.
+        let first_ip = udp_to(Ipv4Addr::new(10, 0, 0, 9), 80, 1);
+        assert_eq!(extractor.push(&first_ip).dst_ip_counter, 1);
+    }
+
+    #[test]
+    fn extract_dedups_consecutive_identical_packets() {
+        let gw = Ipv4Addr::new(192, 168, 0, 1);
+        // Identical from the feature perspective: same protocols, size,
+        // counter and port classes.
+        let packets = vec![udp_to(gw, 53, 0), udp_to(gw, 53, 100), udp_to(gw, 53, 200)];
+        let fingerprint = extract(&packets);
+        assert_eq!(fingerprint.len(), 1);
+    }
+
+    #[test]
+    fn different_destinations_are_not_duplicates() {
+        let packets = vec![
+            udp_to(Ipv4Addr::new(192, 168, 0, 1), 53, 0),
+            udp_to(Ipv4Addr::new(52, 0, 0, 1), 53, 1),
+        ];
+        assert_eq!(extract(&packets).len(), 2);
+    }
+}

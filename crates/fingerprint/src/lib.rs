@@ -1,0 +1,50 @@
+//! IoT Sentinel device fingerprints (Sect. IV-A of the paper).
+//!
+//! A device fingerprint is built from the packets a new device sends
+//! during its setup phase:
+//!
+//! 1. Each packet is mapped to a 23-dimensional [`FeatureVector`]
+//!    (Table I): 16 binary protocol indicators, 2 IP-option indicators,
+//!    packet size, raw-data presence, a destination-IP counter and the
+//!    source/destination port classes.
+//! 2. The sequence of vectors, with *consecutive duplicates removed*, is
+//!    the variable-length fingerprint [`Fingerprint`] (the paper's
+//!    `23 × n` matrix `F`).
+//! 3. The first 12 *unique* vectors, concatenated and zero-padded, form
+//!    the fixed 276-dimensional [`FixedFingerprint`] (`F'`) consumed by
+//!    the per-device-type classifiers.
+//!
+//! Fingerprints never look at payload contents, so they work on encrypted
+//! traffic.
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_fingerprint::{extract, FixedFingerprint};
+//! use sentinel_netproto::{MacAddr, Packet};
+//!
+//! let mac = MacAddr::new([2, 0, 0, 0, 0, 1]);
+//! let packets = vec![
+//!     Packet::eapol_key(sentinel_netproto::Timestamp::ZERO, mac, MacAddr::ZERO, 2),
+//!     Packet::dhcp_discover(mac, 1, 50_000),
+//! ];
+//! let fingerprint = extract(&packets);
+//! assert_eq!(fingerprint.len(), 2);
+//! let fixed = FixedFingerprint::from_fingerprint(&fingerprint);
+//! assert_eq!(fixed.as_slice().len(), 276);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod editdist;
+mod extract;
+mod features;
+mod fixed;
+mod matrix;
+pub mod setup;
+
+pub use extract::{extract, FeatureExtractor};
+pub use features::{FeatureVector, PortClass, FEATURE_COUNT, FEATURE_NAMES};
+pub use fixed::{FixedFingerprint, FIXED_DIMENSIONS, FIXED_PACKETS};
+pub use matrix::Fingerprint;

@@ -1,0 +1,149 @@
+//! Property tests: edit-distance metric laws and fingerprint-structure
+//! invariants.
+
+use proptest::prelude::*;
+
+use sentinel_fingerprint::editdist::{levenshtein_distance, osa_distance};
+use sentinel_fingerprint::{
+    extract, FeatureVector, Fingerprint, FixedFingerprint, PortClass, FEATURE_COUNT,
+};
+use sentinel_netproto::{MacAddr, Packet};
+
+fn symbols() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..6, 0..24)
+}
+
+fn vectors(max: usize) -> impl Strategy<Value = Vec<FeatureVector>> {
+    proptest::collection::vec(0u32..8, 0..max).prop_map(|counters| {
+        counters
+            .into_iter()
+            .map(|c| FeatureVector::from_packet(&Packet::dhcp_discover(MacAddr::ZERO, 1, 0), c))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // --- Edit-distance laws ---
+
+    #[test]
+    fn osa_identity(a in symbols()) {
+        prop_assert_eq!(osa_distance(&a, &a), 0);
+    }
+
+    #[test]
+    fn osa_symmetry(a in symbols(), b in symbols()) {
+        prop_assert_eq!(osa_distance(&a, &b), osa_distance(&b, &a));
+    }
+
+    #[test]
+    fn osa_bounds(a in symbols(), b in symbols()) {
+        let d = osa_distance(&a, &b);
+        let longest = a.len().max(b.len());
+        let diff = a.len().abs_diff(b.len());
+        prop_assert!(d <= longest, "distance {} exceeds longest {}", d, longest);
+        prop_assert!(d >= diff, "distance {} below length difference {}", d, diff);
+        prop_assert_eq!(d == 0, a == b);
+    }
+
+    #[test]
+    fn osa_bounded_by_levenshtein(a in symbols(), b in symbols()) {
+        prop_assert!(osa_distance(&a, &b) <= levenshtein_distance(&a, &b));
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(a in symbols(), b in symbols(), c in symbols()) {
+        let ab = levenshtein_distance(&a, &b);
+        let bc = levenshtein_distance(&b, &c);
+        let ac = levenshtein_distance(&a, &c);
+        prop_assert!(ac <= ab + bc, "triangle violated: {} > {} + {}", ac, ab, bc);
+    }
+
+    #[test]
+    fn normalized_distance_in_unit_interval(a in vectors(20), b in vectors(20)) {
+        let fa = Fingerprint::new(a);
+        let fb = Fingerprint::new(b);
+        let d = sentinel_fingerprint::editdist::normalized_distance(&fa, &fb);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(
+            sentinel_fingerprint::editdist::normalized_distance(&fb, &fa),
+            d
+        );
+    }
+
+    // --- Fingerprint structure invariants ---
+
+    #[test]
+    fn consecutive_dedup_is_idempotent(raw in vectors(24)) {
+        let once = Fingerprint::new(raw);
+        let twice = Fingerprint::new(once.vectors().to_vec());
+        prop_assert_eq!(&twice, &once);
+        // No two adjacent columns are equal after construction.
+        for window in once.vectors().windows(2) {
+            prop_assert_ne!(&window[0], &window[1]);
+        }
+    }
+
+    #[test]
+    fn fixed_fingerprint_always_276_dims_zero_padded(raw in vectors(30)) {
+        let fingerprint = Fingerprint::new(raw);
+        let fixed = FixedFingerprint::from_fingerprint(&fingerprint);
+        prop_assert_eq!(fixed.dimensions(), 276);
+        let unique = fingerprint.unique_vectors(12).len();
+        // Slots beyond the unique packets are exactly zero.
+        for (i, &value) in fixed.as_slice().iter().enumerate() {
+            if i >= unique * FEATURE_COUNT {
+                prop_assert_eq!(value, 0.0, "slot {} not padded", i);
+            }
+        }
+    }
+
+    #[test]
+    fn unique_vectors_are_distinct_and_ordered(raw in vectors(30), limit in 1usize..15) {
+        let fingerprint = Fingerprint::new(raw);
+        let unique = fingerprint.unique_vectors(limit);
+        prop_assert!(unique.len() <= limit);
+        for (i, a) in unique.iter().enumerate() {
+            for b in &unique[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn port_class_total_and_stable(port in proptest::option::of(any::<u16>())) {
+        let class = PortClass::from_port(port);
+        let encoded = class.to_u8();
+        prop_assert!(encoded <= 3);
+        prop_assert_eq!(encoded == 0, port.is_none());
+        // Same port always classifies the same.
+        prop_assert_eq!(PortClass::from_port(port), class);
+    }
+
+    #[test]
+    fn feature_array_matches_count(counter in 0u32..100) {
+        let vector = FeatureVector::from_packet(
+            &Packet::dhcp_discover(MacAddr::ZERO, 1, 0),
+            counter,
+        );
+        let array = vector.to_array();
+        prop_assert_eq!(array.len(), FEATURE_COUNT);
+        prop_assert_eq!(array[20], counter as f64);
+        // Binary features really are binary.
+        for &value in &array[0..18] {
+            prop_assert!(value == 0.0 || value == 1.0);
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic(seed in any::<u64>()) {
+        // Same packets -> same fingerprint, regardless of how often we run.
+        let mac = MacAddr::new([1, 2, 3, 4, 5, 6]);
+        let packets = vec![
+            Packet::dhcp_discover(mac, seed as u32, 0),
+            Packet::dhcp_discover(mac, seed as u32 ^ 1, 500_000),
+        ];
+        prop_assert_eq!(extract(&packets), extract(&packets));
+    }
+}

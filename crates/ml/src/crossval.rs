@@ -1,0 +1,113 @@
+//! Stratified k-fold cross-validation (Sect. VI-B evaluates with
+//! stratified 10-fold CV repeated 10 times).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One cross-validation fold: disjoint train/test row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Held-out test row indices.
+    pub test: Vec<usize>,
+}
+
+/// Produces `k` stratified folds over rows with the given `labels`.
+///
+/// Each class's rows are shuffled and dealt round-robin across folds, so
+/// every fold's test set preserves the class distribution as closely as
+/// integer arithmetic allows.
+///
+/// # Panics
+///
+/// Panics if `k < 2`.
+pub fn stratified_k_fold(labels: &[usize], k: usize, rng: &mut impl Rng) -> Vec<Fold> {
+    assert!(k >= 2, "cross-validation needs at least 2 folds");
+    let n_classes = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+    for (i, &label) in labels.iter().enumerate() {
+        per_class[label].push(i);
+    }
+    let mut test_sets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class_rows in &mut per_class {
+        class_rows.shuffle(rng);
+        for (j, &row) in class_rows.iter().enumerate() {
+            test_sets[j % k].push(row);
+        }
+    }
+    (0..k)
+        .map(|fold| {
+            let test = test_sets[fold].clone();
+            let train = test_sets
+                .iter()
+                .enumerate()
+                .filter(|&(other, _)| other != fold)
+                .flat_map(|(_, rows)| rows.iter().copied())
+                .collect();
+            Fold { train, test }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labels_27_by_20() -> Vec<usize> {
+        // The paper's dataset shape: 27 device-types x 20 fingerprints.
+        (0..27).flat_map(|c| std::iter::repeat_n(c, 20)).collect()
+    }
+
+    #[test]
+    fn folds_partition_rows() {
+        let labels = labels_27_by_20();
+        let folds = stratified_k_fold(&labels, 10, &mut StdRng::seed_from_u64(1));
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![0usize; labels.len()];
+        for fold in &folds {
+            for &i in &fold.test {
+                seen[i] += 1;
+            }
+            assert_eq!(fold.train.len() + fold.test.len(), labels.len());
+            // Train and test are disjoint.
+            let test: std::collections::HashSet<_> = fold.test.iter().collect();
+            assert!(fold.train.iter().all(|i| !test.contains(i)));
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each row tested exactly once");
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let labels = labels_27_by_20();
+        let folds = stratified_k_fold(&labels, 10, &mut StdRng::seed_from_u64(2));
+        for fold in &folds {
+            // 20 samples per class over 10 folds = exactly 2 per class.
+            let mut per_class = vec![0usize; 27];
+            for &i in &fold.test {
+                per_class[labels[i]] += 1;
+            }
+            assert!(per_class.iter().all(|&c| c == 2), "{per_class:?}");
+        }
+    }
+
+    #[test]
+    fn uneven_classes_spread_across_folds() {
+        let labels = vec![0, 0, 0, 0, 0, 1, 1, 1];
+        let folds = stratified_k_fold(&labels, 3, &mut StdRng::seed_from_u64(3));
+        let total_test: usize = folds.iter().map(|f| f.test.len()).sum();
+        assert_eq!(total_test, 8);
+        for fold in &folds {
+            let ones = fold.test.iter().filter(|&&i| labels[i] == 1).count();
+            assert!(ones <= 1, "3 ones over 3 folds: at most one each");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn k_of_one_rejected() {
+        let _ = stratified_k_fold(&[0, 1], 1, &mut StdRng::seed_from_u64(0));
+    }
+}

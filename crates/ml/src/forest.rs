@@ -1,0 +1,294 @@
+//! Random Forest (Breiman, 2001): bagged CART trees with per-split
+//! feature subsampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::sampling::bootstrap_indices;
+use crate::tree::argmax;
+use crate::{Dataset, DecisionTree, TreeConfig};
+
+/// How many candidate features each split considers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FeatureSubsample {
+    /// `⌈√d⌉` random features per split (the Random Forest default).
+    Sqrt,
+    /// All features (pure bagging).
+    All,
+    /// A fixed number of random features per split.
+    Fixed(usize),
+}
+
+impl FeatureSubsample {
+    fn resolve(self, n_features: usize) -> Option<usize> {
+        match self {
+            FeatureSubsample::Sqrt => Some((n_features as f64).sqrt().ceil() as usize),
+            FeatureSubsample::All => None,
+            FeatureSubsample::Fixed(k) => Some(k.clamp(1, n_features)),
+        }
+    }
+}
+
+/// Training parameters for a [`RandomForest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-split feature subsampling strategy.
+    pub feature_subsample: FeatureSubsample,
+    /// Maximum depth of each tree.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// RNG seed for bootstrap and feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    /// Matches the Weka defaults the paper's evaluation would have used:
+    /// 100 unpruned trees with √d features per split.
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            feature_subsample: FeatureSubsample::Sqrt,
+            max_depth: 24,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// Returns the config with a different seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different tree count (builder style).
+    #[must_use]
+    pub fn with_trees(mut self, n_trees: usize) -> Self {
+        self.n_trees = n_trees;
+        self
+    }
+}
+
+/// A trained Random Forest classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    /// Out-of-bag accuracy estimated during training (`None` if some
+    /// sample was never out-of-bag, e.g. with very few trees).
+    oob_accuracy: Option<f64>,
+}
+
+impl RandomForest {
+    /// Fits a forest on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `config.n_trees` is zero.
+    pub fn fit(data: &Dataset, config: &ForestConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(config.n_trees > 0, "a forest needs at least one tree");
+        let tree_config = TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_split: config.min_samples_split,
+            min_samples_leaf: config.min_samples_leaf,
+            n_candidate_features: config.feature_subsample.resolve(data.n_features()),
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n_classes = data.n_classes().max(2);
+        // Out-of-bag votes: each tree votes on the samples its bootstrap
+        // missed, giving a free generalization estimate (Breiman 2001).
+        let mut oob_votes = vec![vec![0usize; n_classes]; data.len()];
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            let sample = bootstrap_indices(data.len(), &mut rng);
+            // Derive an independent stream per tree so feature
+            // shuffling cannot correlate across trees.
+            let mut tree_rng = StdRng::seed_from_u64(rng.gen());
+            let tree = DecisionTree::fit_on(data, &sample, &tree_config, &mut tree_rng);
+            let in_bag: std::collections::HashSet<usize> = sample.into_iter().collect();
+            for i in 0..data.len() {
+                if !in_bag.contains(&i) {
+                    oob_votes[i][tree.predict(data.row(i))] += 1;
+                }
+            }
+            trees.push(tree);
+        }
+        let mut correct = 0usize;
+        let mut voted = 0usize;
+        for (i, votes) in oob_votes.iter().enumerate() {
+            if votes.iter().sum::<usize>() == 0 {
+                continue;
+            }
+            voted += 1;
+            if argmax(votes) == data.label(i) {
+                correct += 1;
+            }
+        }
+        let oob_accuracy = (voted == data.len()).then(|| correct as f64 / voted as f64);
+        RandomForest {
+            trees,
+            n_classes,
+            oob_accuracy,
+        }
+    }
+
+    /// The out-of-bag accuracy estimate from training, if every training
+    /// sample received at least one out-of-bag vote.
+    pub fn oob_accuracy(&self) -> Option<f64> {
+        self.oob_accuracy
+    }
+
+    /// The number of trees in the forest.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The number of classes the forest distinguishes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Predicts the majority-vote class for a feature row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict(row)] += 1;
+        }
+        argmax(&votes)
+    }
+
+    /// Per-class vote fractions for a feature row.
+    pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut votes = vec![0usize; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict(row)] += 1;
+        }
+        votes
+            .into_iter()
+            .map(|v| v as f64 / self.trees.len() as f64)
+            .collect()
+    }
+
+    /// Convenience for binary classifiers: returns `true` if class 1 wins
+    /// the vote.
+    pub fn accepts(&self, row: &[f64]) -> bool {
+        self.predict(row) == 1
+    }
+
+    /// Mean Gini feature importances over all trees, normalized to sum
+    /// to 1 (all zeros if no tree ever split).
+    pub fn feature_importances(&self, n_features: usize) -> Vec<f64> {
+        let mut total = vec![0.0; n_features];
+        for tree in &self.trees {
+            for (slot, value) in total.iter_mut().zip(tree.feature_importances(n_features)) {
+                *slot += value;
+            }
+        }
+        let sum: f64 = total.iter().sum();
+        if sum > 0.0 {
+            for value in &mut total {
+                *value /= sum;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per_class: usize) -> Dataset {
+        // Two well-separated 2-D blobs laid out deterministically.
+        let mut data = Dataset::new(2);
+        for i in 0..n_per_class {
+            let jitter = (i % 7) as f64 * 0.01;
+            data.push(&[0.0 + jitter, 0.0 - jitter], 0);
+            data.push(&[5.0 - jitter, 5.0 + jitter], 1);
+        }
+        data
+    }
+
+    #[test]
+    fn separable_blobs_classified() {
+        let forest = RandomForest::fit(&blobs(30), &ForestConfig::default().with_seed(1));
+        assert_eq!(forest.predict(&[0.2, 0.1]), 0);
+        assert_eq!(forest.predict(&[4.8, 5.1]), 1);
+        assert!(forest.accepts(&[5.0, 5.0]));
+        assert!(!forest.accepts(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(20);
+        let a = RandomForest::fit(&data, &ForestConfig::default().with_seed(9));
+        let b = RandomForest::fit(&data, &ForestConfig::default().with_seed(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = blobs(20);
+        let a = RandomForest::fit(&data, &ForestConfig::default().with_seed(1));
+        let b = RandomForest::fit(&data, &ForestConfig::default().with_seed(2));
+        assert_ne!(a, b, "bootstrap samples should differ");
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let forest = RandomForest::fit(&blobs(10), &ForestConfig::default().with_trees(31));
+        let proba = forest.predict_proba(&[2.5, 2.5]);
+        assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(forest.n_trees(), 31);
+    }
+
+    #[test]
+    fn subsample_strategies_resolve() {
+        assert_eq!(FeatureSubsample::Sqrt.resolve(276), Some(17));
+        assert_eq!(FeatureSubsample::All.resolve(276), None);
+        assert_eq!(FeatureSubsample::Fixed(500).resolve(276), Some(276));
+        assert_eq!(FeatureSubsample::Fixed(0).resolve(276), Some(1));
+    }
+
+    #[test]
+    fn oob_accuracy_high_on_separable_data() {
+        let forest = RandomForest::fit(&blobs(30), &ForestConfig::default().with_seed(4));
+        let oob = forest.oob_accuracy().expect("100 trees cover all samples");
+        assert!(oob > 0.95, "oob accuracy {oob}");
+    }
+
+    #[test]
+    fn oob_none_with_single_tree_is_possible() {
+        // One tree leaves ~37% of samples out-of-bag; the rest get no
+        // vote, so the estimate must be withheld.
+        let forest = RandomForest::fit(&blobs(30), &ForestConfig::default().with_trees(1));
+        // Either every sample happened to be OOB (tiny chance) or None.
+        if let Some(oob) = forest.oob_accuracy() {
+            assert!((0.0..=1.0).contains(&oob));
+        }
+    }
+
+    #[test]
+    fn forest_importances_are_normalized() {
+        let forest = RandomForest::fit(&blobs(20), &ForestConfig::default().with_trees(15));
+        let importances = forest.feature_importances(2);
+        assert!((importances.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(importances.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let _ = RandomForest::fit(&Dataset::new(2), &ForestConfig::default());
+    }
+}

@@ -1,0 +1,47 @@
+//! Machine-learning substrate for the IoT Sentinel reproduction.
+//!
+//! The paper classifies fixed-size fingerprints with one binary Random
+//! Forest per device-type (Breiman, 2001). The `linfa` ecosystem being
+//! thin, this crate implements the required pieces from scratch:
+//!
+//! * [`Dataset`] — a dense design matrix with integer class labels.
+//! * [`DecisionTree`] — CART with Gini impurity and per-split random
+//!   feature subsampling.
+//! * [`RandomForest`] — bagged trees with majority vote and class
+//!   probabilities.
+//! * [`crossval`] — stratified k-fold cross-validation splits.
+//! * [`metrics`] — accuracy, confusion matrices, precision/recall.
+//! * [`sampling`] — bootstrap and without-replacement sampling.
+//!
+//! Everything is deterministic given a seed, so experiments reproduce
+//! bit-for-bit.
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_ml::{Dataset, ForestConfig, RandomForest};
+//!
+//! // A trivially separable problem: class = (x > 0.5).
+//! let mut data = Dataset::new(1);
+//! for i in 0..100 {
+//!     let x = i as f64 / 100.0;
+//!     data.push(&[x], usize::from(x > 0.5));
+//! }
+//! let forest = RandomForest::fit(&data, &ForestConfig::default().with_seed(7));
+//! assert_eq!(forest.predict(&[0.9]), 1);
+//! assert_eq!(forest.predict(&[0.1]), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crossval;
+mod data;
+mod forest;
+pub mod metrics;
+pub mod sampling;
+mod tree;
+
+pub use data::Dataset;
+pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
+pub use tree::{DecisionTree, TreeConfig};

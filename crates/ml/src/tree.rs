@@ -1,0 +1,479 @@
+//! CART decision trees with Gini impurity.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Dataset;
+
+/// Training parameters for a [`DecisionTree`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples in each child of an accepted split.
+    pub min_samples_leaf: usize,
+    /// Number of random candidate features per split (`None` = all).
+    pub n_candidate_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 24,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            n_candidate_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Per-class sample counts at the leaf (for probabilities).
+        counts: Vec<usize>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+        /// Samples that reached this split (importance weighting).
+        n_samples: usize,
+        /// Gini impurity decrease achieved by the split.
+        impurity_decrease: f64,
+    },
+}
+
+/// A trained CART decision tree.
+///
+/// Samples with `feature <= threshold` go left. Leaves store training
+/// class counts so the tree can emit probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data` using all rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset, config: &TreeConfig, rng: &mut impl Rng) -> Self {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        Self::fit_on(data, &indices, config, rng)
+    }
+
+    /// Fits a tree on the rows selected by `indices` (used for bootstrap
+    /// bagging; indices may repeat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_on(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let n_classes = data.n_classes().max(2);
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_classes,
+        };
+        let mut work = indices.to_vec();
+        tree.build(data, &mut work, 0, config, rng);
+        tree
+    }
+
+    /// The number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The maximum depth of the tree (root = 0, single leaf = 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], at: usize) -> usize {
+            match &nodes[at] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// Predicts the class of a feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the features the tree was trained
+    /// on.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let counts = self.leaf_counts(row);
+        argmax(counts)
+    }
+
+    /// Per-class probability estimate for a feature row (leaf class
+    /// frequencies).
+    pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let counts = self.leaf_counts(row);
+        let total: usize = counts.iter().sum();
+        counts
+            .iter()
+            .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+            .collect()
+    }
+
+    fn leaf_counts(&self, row: &[f64]) -> &[usize] {
+        let mut at = 0;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { counts } => return counts,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    at = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Builds the subtree over `indices`, returning its root node id.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        indices: &mut [usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let counts = self.class_counts(data, indices);
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
+            return self.push_leaf(counts);
+        }
+        match self.best_split(data, indices, config, rng) {
+            Some((feature, threshold, weighted_child_gini)) => {
+                let split_at = partition(data, indices, feature, threshold);
+                if split_at < config.min_samples_leaf
+                    || indices.len() - split_at < config.min_samples_leaf
+                    || split_at == 0
+                    || split_at == indices.len()
+                {
+                    return self.push_leaf(counts);
+                }
+                // Reserve the node id before children so the root is node 0.
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { counts: Vec::new() }); // placeholder
+                let parent_gini = gini(&counts, indices.len());
+                let n_samples = indices.len();
+                let (left_idx, right_idx) = indices.split_at_mut(split_at);
+                let left = self.build(data, left_idx, depth + 1, config, rng);
+                let right = self.build(data, right_idx, depth + 1, config, rng);
+                self.nodes[id] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    n_samples,
+                    impurity_decrease: (parent_gini - weighted_child_gini).max(0.0),
+                };
+                id
+            }
+            None => self.push_leaf(counts),
+        }
+    }
+
+    fn push_leaf(&mut self, counts: Vec<usize>) -> usize {
+        self.nodes.push(Node::Leaf { counts });
+        self.nodes.len() - 1
+    }
+
+    fn class_counts(&self, data: &Dataset, indices: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &i in indices {
+            counts[data.label(i)] += 1;
+        }
+        counts
+    }
+
+    /// Finds the `(feature, threshold)` minimizing weighted Gini impurity
+    /// over the candidate features, or `None` if no split improves.
+    fn best_split(
+        &self,
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Option<(usize, f64, f64)> {
+        let n_features = data.n_features();
+        let mut candidates: Vec<usize> = (0..n_features).collect();
+        let limit = match config.n_candidate_features {
+            Some(k) => {
+                candidates.shuffle(rng);
+                k.max(1).min(n_features)
+            }
+            None => n_features,
+        };
+        // Take the best split even at zero Gini gain (as CART splitters
+        // do): greedy strict-improvement search cannot learn XOR-shaped
+        // concepts whose first split is gain-free. Purity, depth and
+        // min-samples rules bound the recursion instead.
+        let mut best: Option<(f64, usize, f64)> = None;
+        // Constant features do not count against the candidate budget —
+        // like scikit-learn, keep drawing until `limit` splittable
+        // features were examined or the feature set is exhausted.
+        let mut examined = 0usize;
+        let mut column: Vec<(f64, usize)> = Vec::with_capacity(indices.len());
+        for &feature in &candidates {
+            if examined >= limit {
+                break;
+            }
+            column.clear();
+            column.extend(indices.iter().map(|&i| (data.row(i)[feature], data.label(i))));
+            column.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            let total = column.len();
+            if column[0].0 == column[total - 1].0 {
+                continue; // constant feature: no threshold exists
+            }
+            examined += 1;
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut right_counts = self.class_counts(data, indices);
+            for pos in 0..total - 1 {
+                let (value, label) = column[pos];
+                left_counts[label] += 1;
+                right_counts[label] -= 1;
+                let next_value = column[pos + 1].0;
+                if value == next_value {
+                    continue; // cannot split between equal values
+                }
+                let n_left = pos + 1;
+                let n_right = total - n_left;
+                let weighted = (n_left as f64 * gini(&left_counts, n_left)
+                    + n_right as f64 * gini(&right_counts, n_right))
+                    / total as f64;
+                if best.is_none_or(|(g, _, _)| weighted + 1e-12 < g) {
+                    best = Some((weighted, feature, (value + next_value) / 2.0));
+                }
+            }
+        }
+        best.map(|(weighted, feature, threshold)| (feature, threshold, weighted))
+    }
+
+    /// Gini (mean-decrease-in-impurity) feature importances, normalized
+    /// to sum to 1 over `n_features` (all zeros for a single-leaf tree).
+    pub fn feature_importances(&self, n_features: usize) -> Vec<f64> {
+        let mut importances = vec![0.0; n_features];
+        let root_samples = match self.nodes.first() {
+            Some(Node::Split { n_samples, .. }) => *n_samples as f64,
+            _ => return importances,
+        };
+        for node in &self.nodes {
+            if let Node::Split {
+                feature,
+                n_samples,
+                impurity_decrease,
+                ..
+            } = node
+            {
+                importances[*feature] += *n_samples as f64 / root_samples * impurity_decrease;
+            }
+        }
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            for value in &mut importances {
+                *value /= total;
+            }
+        }
+        importances
+    }
+}
+
+/// Gini impurity of a class-count vector over `total` samples.
+fn gini(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let sum_sq: f64 = counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            p * p
+        })
+        .sum();
+    1.0 - sum_sq
+}
+
+/// Partitions `indices` in place so rows with `feature <= threshold` come
+/// first; returns the boundary position.
+fn partition(data: &Dataset, indices: &mut [usize], feature: usize, threshold: f64) -> usize {
+    let mut boundary = 0;
+    for i in 0..indices.len() {
+        if data.row(indices[i])[feature] <= threshold {
+            indices.swap(boundary, i);
+            boundary += 1;
+        }
+    }
+    boundary
+}
+
+/// Index of the maximum element (first on ties).
+pub(crate) fn argmax(values: &[usize]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn xor_dataset() -> Dataset {
+        let mut data = Dataset::new(2);
+        for _ in 0..10 {
+            data.push(&[0.0, 0.0], 0);
+            data.push(&[1.0, 1.0], 0);
+            data.push(&[0.0, 1.0], 1);
+            data.push(&[1.0, 0.0], 1);
+        }
+        data
+    }
+
+    #[test]
+    fn learns_xor() {
+        let tree = DecisionTree::fit(&xor_dataset(), &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.predict(&[0.0, 0.0]), 0);
+        assert_eq!(tree.predict(&[1.0, 1.0]), 0);
+        assert_eq!(tree.predict(&[0.0, 1.0]), 1);
+        assert_eq!(tree.predict(&[1.0, 0.0]), 1);
+        assert!(tree.depth() >= 2, "xor needs at least two levels");
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let mut data = Dataset::new(1);
+        for i in 0..5 {
+            data.push(&[i as f64], 1);
+        }
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[99.0]), 1);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_majority_vote() {
+        let mut data = Dataset::new(1);
+        data.push(&[0.0], 0);
+        data.push(&[1.0], 1);
+        data.push(&[2.0], 1);
+        let config = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&data, &config, &mut rng());
+        assert_eq!(tree.predict(&[0.0]), 1, "majority class");
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let tree = DecisionTree::fit(&xor_dataset(), &TreeConfig::default(), &mut rng());
+        let proba = tree.predict_proba(&[0.0, 1.0]);
+        let sum: f64 = proba.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(proba[1] > proba[0]);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let mut data = Dataset::new(1);
+        data.push(&[0.0], 0);
+        data.push(&[1.0], 1);
+        let config = TreeConfig {
+            min_samples_leaf: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&data, &config, &mut rng());
+        assert_eq!(tree.node_count(), 1, "split would create 1-sample leaves");
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        let mut data = Dataset::new(2);
+        data.push(&[1.0, 1.0], 0);
+        data.push(&[1.0, 1.0], 1);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns_separable_data() {
+        let mut data = Dataset::new(4);
+        for i in 0..50 {
+            let x = i as f64;
+            data.push(&[0.0, 0.0, x, 0.0], usize::from(x > 25.0));
+        }
+        let config = TreeConfig {
+            n_candidate_features: Some(2),
+            ..TreeConfig::default()
+        };
+        // With 2-of-4 candidates per split the informative feature is
+        // found after at most a few levels.
+        let tree = DecisionTree::fit(&data, &config, &mut rng());
+        assert_eq!(tree.predict(&[0.0, 0.0, 40.0, 0.0]), 1);
+        assert_eq!(tree.predict(&[0.0, 0.0, 10.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn importances_identify_the_informative_feature() {
+        let mut data = Dataset::new(3);
+        for i in 0..60 {
+            let x = i as f64;
+            // Only feature 1 is informative.
+            data.push(&[(i % 7) as f64, x, 3.0], usize::from(x > 30.0));
+        }
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng());
+        let importances = tree.feature_importances(3);
+        assert!((importances.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(
+            importances[1] > 0.9,
+            "feature 1 should dominate: {importances:?}"
+        );
+    }
+
+    #[test]
+    fn single_leaf_tree_has_zero_importances() {
+        let mut data = Dataset::new(2);
+        data.push(&[1.0, 2.0], 1);
+        data.push(&[3.0, 4.0], 1);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.feature_importances(2), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_tie() {
+        assert_eq!(argmax(&[3, 3, 1]), 0);
+        assert_eq!(argmax(&[1, 5, 5]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

@@ -1,0 +1,465 @@
+//! DHCP (RFC 2131) and plain BOOTP (RFC 951) messages.
+//!
+//! The paper's Table I lists DHCP and BOOTP as *separate* application-layer
+//! features: every DHCP message is carried in a BOOTP frame (so the BOOTP
+//! bit accompanies the DHCP bit), while pre-DHCP devices emit BOOTP frames
+//! with no DHCP magic cookie (BOOTP bit only). [`DhcpMessage::is_dhcp`]
+//! makes the distinction.
+
+use std::net::Ipv4Addr;
+
+use bytes::BufMut;
+use serde::{Deserialize, Serialize};
+
+use crate::{MacAddr, ParseError};
+
+/// Minimum (fixed-portion) length of a BOOTP message.
+pub const FIXED_LEN: usize = 236;
+
+/// The DHCP magic cookie distinguishing DHCP from plain BOOTP.
+pub const MAGIC_COOKIE: [u8; 4] = [99, 130, 83, 99];
+
+/// BOOTP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BootpOp {
+    /// Client request (1).
+    Request,
+    /// Server reply (2).
+    Reply,
+}
+
+impl BootpOp {
+    fn to_u8(self) -> u8 {
+        match self {
+            BootpOp::Request => 1,
+            BootpOp::Reply => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ParseError> {
+        match v {
+            1 => Ok(BootpOp::Request),
+            2 => Ok(BootpOp::Reply),
+            v => Err(ParseError::invalid("bootp", format!("op {v}"))),
+        }
+    }
+}
+
+/// DHCP message type (option 53).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DhcpMessageType {
+    /// DHCPDISCOVER (1).
+    Discover,
+    /// DHCPOFFER (2).
+    Offer,
+    /// DHCPREQUEST (3).
+    Request,
+    /// DHCPDECLINE (4).
+    Decline,
+    /// DHCPACK (5).
+    Ack,
+    /// DHCPNAK (6).
+    Nak,
+    /// DHCPRELEASE (7).
+    Release,
+    /// DHCPINFORM (8).
+    Inform,
+}
+
+impl DhcpMessageType {
+    fn to_u8(self) -> u8 {
+        match self {
+            DhcpMessageType::Discover => 1,
+            DhcpMessageType::Offer => 2,
+            DhcpMessageType::Request => 3,
+            DhcpMessageType::Decline => 4,
+            DhcpMessageType::Ack => 5,
+            DhcpMessageType::Nak => 6,
+            DhcpMessageType::Release => 7,
+            DhcpMessageType::Inform => 8,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self, ParseError> {
+        Ok(match v {
+            1 => DhcpMessageType::Discover,
+            2 => DhcpMessageType::Offer,
+            3 => DhcpMessageType::Request,
+            4 => DhcpMessageType::Decline,
+            5 => DhcpMessageType::Ack,
+            6 => DhcpMessageType::Nak,
+            7 => DhcpMessageType::Release,
+            8 => DhcpMessageType::Inform,
+            v => return Err(ParseError::invalid("dhcp", format!("message type {v}"))),
+        })
+    }
+}
+
+/// A DHCP option.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DhcpOption {
+    /// Message type (53).
+    MessageType(DhcpMessageType),
+    /// Requested IP address (50).
+    RequestedIp(Ipv4Addr),
+    /// Server identifier (54).
+    ServerId(Ipv4Addr),
+    /// Parameter request list (55).
+    ParameterRequestList(Vec<u8>),
+    /// Host name (12).
+    HostName(String),
+    /// Vendor class identifier (60).
+    VendorClassId(String),
+    /// Client identifier (61): hardware type + MAC.
+    ClientId(MacAddr),
+    /// Maximum DHCP message size (57).
+    MaxMessageSize(u16),
+    /// Any other option, kept verbatim.
+    Other {
+        /// Raw option code.
+        code: u8,
+        /// Raw option data.
+        data: Vec<u8>,
+    },
+}
+
+impl DhcpOption {
+    fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            DhcpOption::MessageType(t) => {
+                buf.put_u8(53);
+                buf.put_u8(1);
+                buf.put_u8(t.to_u8());
+            }
+            DhcpOption::RequestedIp(ip) => {
+                buf.put_u8(50);
+                buf.put_u8(4);
+                buf.put_slice(&ip.octets());
+            }
+            DhcpOption::ServerId(ip) => {
+                buf.put_u8(54);
+                buf.put_u8(4);
+                buf.put_slice(&ip.octets());
+            }
+            DhcpOption::ParameterRequestList(params) => {
+                buf.put_u8(55);
+                buf.put_u8(params.len() as u8);
+                buf.put_slice(params);
+            }
+            DhcpOption::HostName(name) => {
+                buf.put_u8(12);
+                buf.put_u8(name.len() as u8);
+                buf.put_slice(name.as_bytes());
+            }
+            DhcpOption::VendorClassId(id) => {
+                buf.put_u8(60);
+                buf.put_u8(id.len() as u8);
+                buf.put_slice(id.as_bytes());
+            }
+            DhcpOption::ClientId(mac) => {
+                buf.put_u8(61);
+                buf.put_u8(7);
+                buf.put_u8(1); // hardware type: Ethernet
+                buf.put_slice(&mac.octets());
+            }
+            DhcpOption::MaxMessageSize(size) => {
+                buf.put_u8(57);
+                buf.put_u8(2);
+                buf.put_u16(*size);
+            }
+            DhcpOption::Other { code, data } => {
+                buf.put_u8(*code);
+                buf.put_u8(data.len() as u8);
+                buf.put_slice(data);
+            }
+        }
+    }
+
+    fn parse(code: u8, data: &[u8]) -> Result<Self, ParseError> {
+        let ip = |data: &[u8]| -> Result<Ipv4Addr, ParseError> {
+            let octets: [u8; 4] = data
+                .try_into()
+                .map_err(|_| ParseError::invalid("dhcp option", "expected 4-byte address"))?;
+            Ok(Ipv4Addr::from(octets))
+        };
+        Ok(match code {
+            53 => {
+                let [v] = data else {
+                    return Err(ParseError::invalid("dhcp option", "message type length"));
+                };
+                DhcpOption::MessageType(DhcpMessageType::from_u8(*v)?)
+            }
+            50 => DhcpOption::RequestedIp(ip(data)?),
+            54 => DhcpOption::ServerId(ip(data)?),
+            55 => DhcpOption::ParameterRequestList(data.to_vec()),
+            12 => DhcpOption::HostName(
+                String::from_utf8(data.to_vec())
+                    .map_err(|_| ParseError::invalid("dhcp option", "host name not utf-8"))?,
+            ),
+            60 => DhcpOption::VendorClassId(
+                String::from_utf8(data.to_vec())
+                    .map_err(|_| ParseError::invalid("dhcp option", "vendor class not utf-8"))?,
+            ),
+            61 if data.len() == 7 && data[0] == 1 => {
+                DhcpOption::ClientId(MacAddr::new(data[1..7].try_into().expect("slice of 6")))
+            }
+            57 => {
+                let bytes: [u8; 2] = data
+                    .try_into()
+                    .map_err(|_| ParseError::invalid("dhcp option", "max message size length"))?;
+                DhcpOption::MaxMessageSize(u16::from_be_bytes(bytes))
+            }
+            code => DhcpOption::Other {
+                code,
+                data: data.to_vec(),
+            },
+        })
+    }
+}
+
+/// A DHCP/BOOTP message.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DhcpMessage {
+    /// Operation (request/reply).
+    pub op: BootpOp,
+    /// Transaction ID.
+    pub xid: u32,
+    /// Seconds elapsed since the client began acquisition.
+    pub secs: u16,
+    /// Broadcast flag.
+    pub broadcast: bool,
+    /// Client IP address (when renewing).
+    pub ciaddr: Ipv4Addr,
+    /// "Your" IP address (assigned by server).
+    pub yiaddr: Ipv4Addr,
+    /// Server IP address.
+    pub siaddr: Ipv4Addr,
+    /// Relay agent IP address.
+    pub giaddr: Ipv4Addr,
+    /// Client hardware address.
+    pub chaddr: MacAddr,
+    /// DHCP options. Empty for a plain BOOTP message.
+    pub options: Vec<DhcpOption>,
+    /// Whether the message carries the DHCP magic cookie.
+    pub dhcp: bool,
+}
+
+impl DhcpMessage {
+    /// A DHCPDISCOVER broadcast from `mac`.
+    pub fn discover(mac: MacAddr, xid: u32) -> Self {
+        DhcpMessage {
+            op: BootpOp::Request,
+            xid,
+            secs: 0,
+            broadcast: true,
+            ciaddr: Ipv4Addr::UNSPECIFIED,
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            siaddr: Ipv4Addr::UNSPECIFIED,
+            giaddr: Ipv4Addr::UNSPECIFIED,
+            chaddr: mac,
+            options: vec![
+                DhcpOption::MessageType(DhcpMessageType::Discover),
+                DhcpOption::ClientId(mac),
+                DhcpOption::ParameterRequestList(vec![1, 3, 6, 15]),
+            ],
+            dhcp: true,
+        }
+    }
+
+    /// A DHCPREQUEST for `requested` from `mac`.
+    pub fn request(mac: MacAddr, xid: u32, requested: Ipv4Addr, server: Ipv4Addr) -> Self {
+        let mut msg = DhcpMessage::discover(mac, xid);
+        msg.options = vec![
+            DhcpOption::MessageType(DhcpMessageType::Request),
+            DhcpOption::ClientId(mac),
+            DhcpOption::RequestedIp(requested),
+            DhcpOption::ServerId(server),
+        ];
+        msg
+    }
+
+    /// A plain BOOTP request (no DHCP options/magic cookie).
+    pub fn bootp_request(mac: MacAddr, xid: u32) -> Self {
+        let mut msg = DhcpMessage::discover(mac, xid);
+        msg.options.clear();
+        msg.dhcp = false;
+        msg
+    }
+
+    /// Returns `true` if this is a DHCP message (magic cookie present), as
+    /// opposed to plain BOOTP.
+    pub fn is_dhcp(&self) -> bool {
+        self.dhcp
+    }
+
+    /// The DHCP message type, if the option is present.
+    pub fn message_type(&self) -> Option<DhcpMessageType> {
+        self.options.iter().find_map(|opt| match opt {
+            DhcpOption::MessageType(t) => Some(*t),
+            _ => None,
+        })
+    }
+
+    /// Appends the message bytes to `buf`.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u8(self.op.to_u8());
+        buf.put_u8(1); // htype: Ethernet
+        buf.put_u8(6); // hlen
+        buf.put_u8(0); // hops
+        buf.put_u32(self.xid);
+        buf.put_u16(self.secs);
+        buf.put_u16(if self.broadcast { 0x8000 } else { 0 });
+        buf.put_slice(&self.ciaddr.octets());
+        buf.put_slice(&self.yiaddr.octets());
+        buf.put_slice(&self.siaddr.octets());
+        buf.put_slice(&self.giaddr.octets());
+        buf.put_slice(&self.chaddr.octets());
+        buf.put_slice(&[0u8; 10]); // chaddr padding
+        buf.put_slice(&[0u8; 64]); // sname
+        buf.put_slice(&[0u8; 128]); // file
+        if self.dhcp {
+            buf.put_slice(&MAGIC_COOKIE);
+            for option in &self.options {
+                option.encode(buf);
+            }
+            buf.put_u8(255); // end option
+        }
+    }
+
+    /// Wire length of the encoded message.
+    pub fn wire_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// Parses a DHCP/BOOTP message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] or [`ParseError::Invalid`] on
+    /// malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < FIXED_LEN {
+            return Err(ParseError::truncated("bootp", FIXED_LEN, bytes.len()));
+        }
+        let op = BootpOp::from_u8(bytes[0])?;
+        if bytes[1] != 1 || bytes[2] != 6 {
+            return Err(ParseError::invalid("bootp", "non-ethernet hardware"));
+        }
+        let xid = u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let secs = u16::from_be_bytes([bytes[8], bytes[9]]);
+        let broadcast = u16::from_be_bytes([bytes[10], bytes[11]]) & 0x8000 != 0;
+        let addr = |o: usize| Ipv4Addr::new(bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]);
+        let chaddr = MacAddr::new(bytes[28..34].try_into().expect("slice of 6"));
+        let mut options = Vec::new();
+        let mut dhcp = false;
+        if bytes.len() >= FIXED_LEN + 4 && bytes[FIXED_LEN..FIXED_LEN + 4] == MAGIC_COOKIE {
+            dhcp = true;
+            let mut rest = &bytes[FIXED_LEN + 4..];
+            while let Some(&code) = rest.first() {
+                match code {
+                    255 => break,
+                    0 => rest = &rest[1..], // pad
+                    _ => {
+                        if rest.len() < 2 {
+                            return Err(ParseError::truncated("dhcp option", 2, rest.len()));
+                        }
+                        let len = rest[1] as usize;
+                        if rest.len() < 2 + len {
+                            return Err(ParseError::truncated("dhcp option", 2 + len, rest.len()));
+                        }
+                        options.push(DhcpOption::parse(code, &rest[2..2 + len])?);
+                        rest = &rest[2 + len..];
+                    }
+                }
+            }
+        }
+        Ok(DhcpMessage {
+            op,
+            xid,
+            secs,
+            broadcast,
+            ciaddr: addr(12),
+            yiaddr: addr(16),
+            siaddr: addr(20),
+            giaddr: addr(24),
+            chaddr,
+            options,
+            dhcp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac() -> MacAddr {
+        MacAddr::new([0xb0, 0xc5, 0x54, 1, 2, 3])
+    }
+
+    #[test]
+    fn discover_roundtrip() {
+        let msg = DhcpMessage::discover(mac(), 0xdeadbeef);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let parsed = DhcpMessage::parse(&buf).unwrap();
+        assert_eq!(parsed, msg);
+        assert!(parsed.is_dhcp());
+        assert_eq!(parsed.message_type(), Some(DhcpMessageType::Discover));
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let msg = DhcpMessage::request(
+            mac(),
+            7,
+            Ipv4Addr::new(192, 168, 0, 33),
+            Ipv4Addr::new(192, 168, 0, 1),
+        );
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        let parsed = DhcpMessage::parse(&buf).unwrap();
+        assert_eq!(parsed.message_type(), Some(DhcpMessageType::Request));
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn plain_bootp_has_no_dhcp_cookie() {
+        let msg = DhcpMessage::bootp_request(mac(), 1);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(buf.len(), FIXED_LEN);
+        let parsed = DhcpMessage::parse(&buf).unwrap();
+        assert!(!parsed.is_dhcp());
+        assert_eq!(parsed.message_type(), None);
+    }
+
+    #[test]
+    fn options_with_padding_parse() {
+        let msg = DhcpMessage::discover(mac(), 2);
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        // Insert pad bytes before the end marker.
+        let end = buf.len() - 1;
+        buf.splice(end..end, [0u8, 0u8]);
+        let parsed = DhcpMessage::parse(&buf).unwrap();
+        assert_eq!(parsed.options, msg.options);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(DhcpMessage::parse(&[0u8; 100]).is_err());
+    }
+
+    #[test]
+    fn vendor_class_roundtrip() {
+        let mut msg = DhcpMessage::discover(mac(), 3);
+        msg.options.push(DhcpOption::VendorClassId("udhcp 1.21.1".into()));
+        msg.options.push(DhcpOption::HostName("EdimaxPlug".into()));
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(DhcpMessage::parse(&buf).unwrap(), msg);
+    }
+}

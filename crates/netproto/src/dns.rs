@@ -1,0 +1,514 @@
+//! DNS (RFC 1035) and multicast DNS (RFC 6762) messages.
+//!
+//! mDNS shares the DNS wire format; the paper distinguishes the two by
+//! port (53 vs 5353), which [`crate::classify`] implements.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use bytes::BufMut;
+use serde::{Deserialize, Serialize};
+
+use crate::ParseError;
+
+/// Length of the DNS message header.
+pub const HEADER_LEN: usize = 12;
+
+/// DNS record type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordType {
+    /// IPv4 address (1).
+    A,
+    /// Name server (2).
+    Ns,
+    /// Canonical name (5).
+    Cname,
+    /// Domain name pointer (12).
+    Ptr,
+    /// Text record (16).
+    Txt,
+    /// IPv6 address (28).
+    Aaaa,
+    /// Service locator (33).
+    Srv,
+    /// Any record (255).
+    Any,
+    /// Any other type.
+    Other(u16),
+}
+
+impl RecordType {
+    /// The raw 16-bit type code.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::Ns => 2,
+            RecordType::Cname => 5,
+            RecordType::Ptr => 12,
+            RecordType::Txt => 16,
+            RecordType::Aaaa => 28,
+            RecordType::Srv => 33,
+            RecordType::Any => 255,
+            RecordType::Other(v) => v,
+        }
+    }
+
+    /// Classifies a raw type code.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => RecordType::A,
+            2 => RecordType::Ns,
+            5 => RecordType::Cname,
+            12 => RecordType::Ptr,
+            16 => RecordType::Txt,
+            28 => RecordType::Aaaa,
+            33 => RecordType::Srv,
+            255 => RecordType::Any,
+            v => RecordType::Other(v),
+        }
+    }
+}
+
+/// A DNS question.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Question {
+    /// Queried name, as a dotted string (`time.nist.gov`).
+    pub name: String,
+    /// Queried record type.
+    pub qtype: RecordType,
+    /// Unicast-response / cache-flush bit (mDNS QU questions).
+    pub unicast_response: bool,
+}
+
+impl Question {
+    /// An A-record question for `name`.
+    pub fn a(name: impl Into<String>) -> Self {
+        Question {
+            name: name.into(),
+            qtype: RecordType::A,
+            unicast_response: false,
+        }
+    }
+
+    /// A PTR question (mDNS service discovery).
+    pub fn ptr(name: impl Into<String>) -> Self {
+        Question {
+            name: name.into(),
+            qtype: RecordType::Ptr,
+            unicast_response: false,
+        }
+    }
+}
+
+/// The data of a DNS resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// An IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// A domain-name pointer.
+    Ptr(String),
+    /// Free-form text strings.
+    Txt(Vec<String>),
+    /// Uninterpreted bytes.
+    Raw(Vec<u8>),
+}
+
+/// A DNS resource record.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    /// Record owner name.
+    pub name: String,
+    /// Time to live.
+    pub ttl: u32,
+    /// Cache-flush bit (mDNS).
+    pub cache_flush: bool,
+    /// Record data (type is implied by the variant).
+    pub data: RecordData,
+}
+
+impl ResourceRecord {
+    fn rtype(&self) -> RecordType {
+        match &self.data {
+            RecordData::A(_) => RecordType::A,
+            RecordData::Aaaa(_) => RecordType::Aaaa,
+            RecordData::Ptr(_) => RecordType::Ptr,
+            RecordData::Txt(_) => RecordType::Txt,
+            RecordData::Raw(_) => RecordType::Other(0),
+        }
+    }
+}
+
+/// A DNS or mDNS message.
+///
+/// ```
+/// use sentinel_netproto::dns::{DnsMessage, Question};
+///
+/// let query = DnsMessage::query(0x1db3, [Question::a("iot.vendor-cloud.example")]);
+/// let bytes = query.to_bytes();
+/// assert_eq!(DnsMessage::parse(&bytes).unwrap(), query);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DnsMessage {
+    /// Transaction ID (0 for mDNS).
+    pub id: u16,
+    /// `true` for responses, `false` for queries.
+    pub response: bool,
+    /// Recursion desired flag.
+    pub recursion_desired: bool,
+    /// Authoritative-answer flag (set on mDNS announcements).
+    pub authoritative: bool,
+    /// Questions.
+    pub questions: Vec<Question>,
+    /// Answer records.
+    pub answers: Vec<ResourceRecord>,
+    /// Authority records.
+    pub authorities: Vec<ResourceRecord>,
+    /// Additional records.
+    pub additionals: Vec<ResourceRecord>,
+}
+
+impl DnsMessage {
+    /// A recursive query for the given questions.
+    pub fn query(id: u16, questions: impl IntoIterator<Item = Question>) -> Self {
+        DnsMessage {
+            id,
+            response: false,
+            recursion_desired: true,
+            authoritative: false,
+            questions: questions.into_iter().collect(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// An mDNS announcement (authoritative response, id 0) of `records`.
+    pub fn mdns_announcement(records: impl IntoIterator<Item = ResourceRecord>) -> Self {
+        DnsMessage {
+            id: 0,
+            response: true,
+            recursion_desired: false,
+            authoritative: true,
+            questions: Vec::new(),
+            answers: records.into_iter().collect(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// An mDNS probe query (id 0, non-recursive).
+    pub fn mdns_query(questions: impl IntoIterator<Item = Question>) -> Self {
+        DnsMessage {
+            id: 0,
+            response: false,
+            recursion_desired: false,
+            authoritative: false,
+            questions: questions.into_iter().collect(),
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    /// Appends the message bytes to `buf`.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u16(self.id);
+        let mut flags = 0u16;
+        if self.response {
+            flags |= 0x8000;
+        }
+        if self.authoritative {
+            flags |= 0x0400;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        buf.put_u16(flags);
+        buf.put_u16(self.questions.len() as u16);
+        buf.put_u16(self.answers.len() as u16);
+        buf.put_u16(self.authorities.len() as u16);
+        buf.put_u16(self.additionals.len() as u16);
+        for q in &self.questions {
+            encode_name(&q.name, buf);
+            buf.put_u16(q.qtype.to_u16());
+            buf.put_u16(if q.unicast_response { 0x8001 } else { 0x0001 });
+        }
+        for rr in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
+            encode_name(&rr.name, buf);
+            buf.put_u16(rr.rtype().to_u16());
+            buf.put_u16(if rr.cache_flush { 0x8001 } else { 0x0001 });
+            buf.put_u32(rr.ttl);
+            let mut data = Vec::new();
+            match &rr.data {
+                RecordData::A(ip) => data.extend_from_slice(&ip.octets()),
+                RecordData::Aaaa(ip) => data.extend_from_slice(&ip.octets()),
+                RecordData::Ptr(name) => encode_name(name, &mut data),
+                RecordData::Txt(strings) => {
+                    for s in strings {
+                        data.put_u8(s.len() as u8);
+                        data.extend_from_slice(s.as_bytes());
+                    }
+                }
+                RecordData::Raw(bytes) => data.extend_from_slice(bytes),
+            }
+            buf.put_u16(data.len() as u16);
+            buf.put_slice(&data);
+        }
+    }
+
+    /// Encodes into a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Parses a DNS message (supports RFC 1035 name compression).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] or [`ParseError::Invalid`] on
+    /// malformed input.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::truncated("dns", HEADER_LEN, bytes.len()));
+        }
+        let id = u16::from_be_bytes([bytes[0], bytes[1]]);
+        let flags = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let counts: Vec<usize> = (0..4)
+            .map(|i| u16::from_be_bytes([bytes[4 + 2 * i], bytes[5 + 2 * i]]) as usize)
+            .collect();
+        let mut offset = HEADER_LEN;
+        let mut questions = Vec::with_capacity(counts[0]);
+        for _ in 0..counts[0] {
+            let (name, next) = parse_name(bytes, offset)?;
+            if bytes.len() < next + 4 {
+                return Err(ParseError::truncated("dns question", next + 4, bytes.len()));
+            }
+            let qtype = RecordType::from_u16(u16::from_be_bytes([bytes[next], bytes[next + 1]]));
+            let qclass = u16::from_be_bytes([bytes[next + 2], bytes[next + 3]]);
+            questions.push(Question {
+                name,
+                qtype,
+                unicast_response: qclass & 0x8000 != 0,
+            });
+            offset = next + 4;
+        }
+        let mut sections: [Vec<ResourceRecord>; 3] = Default::default();
+        for (section, &count) in sections.iter_mut().zip(&counts[1..]) {
+            for _ in 0..count {
+                let (rr, next) = parse_record(bytes, offset)?;
+                section.push(rr);
+                offset = next;
+            }
+        }
+        let [answers, authorities, additionals] = sections;
+        Ok(DnsMessage {
+            id,
+            response: flags & 0x8000 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            authoritative: flags & 0x0400 != 0,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+fn encode_name(name: &str, buf: &mut impl BufMut) {
+    for label in name.split('.').filter(|l| !l.is_empty()) {
+        debug_assert!(label.len() < 64, "dns label too long: {label}");
+        buf.put_u8(label.len() as u8);
+        buf.put_slice(label.as_bytes());
+    }
+    buf.put_u8(0);
+}
+
+fn parse_name(bytes: &[u8], mut offset: usize) -> Result<(String, usize), ParseError> {
+    let mut labels = Vec::new();
+    let mut end = None; // offset after the name at the *original* position
+    let mut hops = 0;
+    loop {
+        let &len = bytes
+            .get(offset)
+            .ok_or_else(|| ParseError::truncated("dns name", offset + 1, bytes.len()))?;
+        match len {
+            0 => {
+                let after = offset + 1;
+                return Ok((labels.join("."), end.unwrap_or(after)));
+            }
+            l if l & 0xc0 == 0xc0 => {
+                let &next = bytes
+                    .get(offset + 1)
+                    .ok_or_else(|| ParseError::truncated("dns name", offset + 2, bytes.len()))?;
+                let pointer = (((l & 0x3f) as usize) << 8) | next as usize;
+                end.get_or_insert(offset + 2);
+                hops += 1;
+                if hops > 16 {
+                    return Err(ParseError::invalid("dns name", "compression loop"));
+                }
+                offset = pointer;
+            }
+            l if l < 64 => {
+                let start = offset + 1;
+                let stop = start + l as usize;
+                let label = bytes
+                    .get(start..stop)
+                    .ok_or_else(|| ParseError::truncated("dns name", stop, bytes.len()))?;
+                labels.push(
+                    std::str::from_utf8(label)
+                        .map_err(|_| ParseError::invalid("dns name", "label not utf-8"))?
+                        .to_owned(),
+                );
+                offset = stop;
+            }
+            l => {
+                return Err(ParseError::invalid("dns name", format!("label length {l}")));
+            }
+        }
+    }
+}
+
+fn parse_record(bytes: &[u8], offset: usize) -> Result<(ResourceRecord, usize), ParseError> {
+    let (name, next) = parse_name(bytes, offset)?;
+    if bytes.len() < next + 10 {
+        return Err(ParseError::truncated("dns record", next + 10, bytes.len()));
+    }
+    let rtype = RecordType::from_u16(u16::from_be_bytes([bytes[next], bytes[next + 1]]));
+    let rclass = u16::from_be_bytes([bytes[next + 2], bytes[next + 3]]);
+    let ttl = u32::from_be_bytes([bytes[next + 4], bytes[next + 5], bytes[next + 6], bytes[next + 7]]);
+    let rdlen = u16::from_be_bytes([bytes[next + 8], bytes[next + 9]]) as usize;
+    let data_start = next + 10;
+    let data_end = data_start + rdlen;
+    let rdata = bytes
+        .get(data_start..data_end)
+        .ok_or_else(|| ParseError::truncated("dns record", data_end, bytes.len()))?;
+    let data = match rtype {
+        RecordType::A if rdlen == 4 => {
+            RecordData::A(Ipv4Addr::new(rdata[0], rdata[1], rdata[2], rdata[3]))
+        }
+        RecordType::Aaaa if rdlen == 16 => {
+            let octets: [u8; 16] = rdata.try_into().expect("slice of 16");
+            RecordData::Aaaa(Ipv6Addr::from(octets))
+        }
+        RecordType::Ptr => RecordData::Ptr(parse_name(bytes, data_start)?.0),
+        RecordType::Txt => {
+            let mut strings = Vec::new();
+            let mut rest = rdata;
+            while let Some(&len) = rest.first() {
+                let stop = 1 + len as usize;
+                let chunk = rest
+                    .get(1..stop)
+                    .ok_or_else(|| ParseError::invalid("dns txt", "string overruns rdata"))?;
+                strings.push(
+                    std::str::from_utf8(chunk)
+                        .map_err(|_| ParseError::invalid("dns txt", "not utf-8"))?
+                        .to_owned(),
+                );
+                rest = &rest[stop..];
+            }
+            RecordData::Txt(strings)
+        }
+        _ => RecordData::Raw(rdata.to_vec()),
+    };
+    Ok((
+        ResourceRecord {
+            name,
+            ttl,
+            cache_flush: rclass & 0x8000 != 0,
+            data,
+        },
+        data_end,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let msg = DnsMessage::query(7, [Question::a("api.vendor.example"), Question {
+            name: "api.vendor.example".into(),
+            qtype: RecordType::Aaaa,
+            unicast_response: false,
+        }]);
+        assert_eq!(DnsMessage::parse(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn mdns_announcement_roundtrip() {
+        let msg = DnsMessage::mdns_announcement([
+            ResourceRecord {
+                name: "_hap._tcp.local".into(),
+                ttl: 4500,
+                cache_flush: true,
+                data: RecordData::Ptr("bridge._hap._tcp.local".into()),
+            },
+            ResourceRecord {
+                name: "bridge.local".into(),
+                ttl: 120,
+                cache_flush: true,
+                data: RecordData::A(Ipv4Addr::new(192, 168, 0, 31)),
+            },
+            ResourceRecord {
+                name: "bridge._hap._tcp.local".into(),
+                ttl: 4500,
+                cache_flush: false,
+                data: RecordData::Txt(vec!["md=Bridge".into(), "pv=1.0".into()]),
+            },
+        ]);
+        let parsed = DnsMessage::parse(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed, msg);
+        assert!(parsed.authoritative);
+        assert_eq!(parsed.id, 0);
+    }
+
+    #[test]
+    fn parses_compressed_names() {
+        // Hand-built response: question "a.b" + answer with pointer to it.
+        let mut bytes = vec![
+            0x00, 0x01, 0x80, 0x00, // id, flags: response
+            0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, // counts
+        ];
+        bytes.extend_from_slice(&[1, b'a', 1, b'b', 0]); // name at offset 12
+        bytes.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]); // qtype/qclass
+        bytes.extend_from_slice(&[0xc0, 12]); // compressed name -> offset 12
+        bytes.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]); // A, IN
+        bytes.extend_from_slice(&[0, 0, 0, 60]); // ttl
+        bytes.extend_from_slice(&[0x00, 0x04, 10, 0, 0, 1]); // rdata
+        let msg = DnsMessage::parse(&bytes).unwrap();
+        assert_eq!(msg.questions[0].name, "a.b");
+        assert_eq!(msg.answers[0].name, "a.b");
+        assert_eq!(msg.answers[0].data, RecordData::A(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn compression_loop_detected() {
+        let mut bytes = vec![
+            0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        ];
+        bytes.extend_from_slice(&[0xc0, 12]); // points at itself
+        bytes.extend_from_slice(&[0x00, 0x01, 0x00, 0x01]);
+        assert!(DnsMessage::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(DnsMessage::parse(&[0u8; 11]).is_err());
+    }
+
+    #[test]
+    fn record_type_roundtrip() {
+        for raw in [1u16, 2, 5, 12, 16, 28, 33, 255, 64] {
+            assert_eq!(RecordType::from_u16(raw).to_u16(), raw);
+        }
+    }
+}

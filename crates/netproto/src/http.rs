@@ -1,0 +1,275 @@
+//! A minimal HTTP/1.1 message model.
+//!
+//! IoT devices use plain HTTP during setup for cloud registration,
+//! firmware-version checks and UPnP descriptions. Only start-line and
+//! headers are modeled structurally; bodies are opaque bytes.
+
+use bytes::{BufMut, Bytes};
+use serde::{Deserialize, Serialize};
+
+use crate::ParseError;
+
+/// An HTTP request method (including the SSDP extension methods, which use
+/// HTTP framing over UDP).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// GET.
+    Get,
+    /// POST.
+    Post,
+    /// PUT.
+    Put,
+    /// SSDP M-SEARCH.
+    MSearch,
+    /// SSDP/GENA NOTIFY.
+    Notify,
+    /// Any other method token.
+    Other(String),
+}
+
+impl Method {
+    /// The method token as it appears on the wire.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::MSearch => "M-SEARCH",
+            Method::Notify => "NOTIFY",
+            Method::Other(s) => s,
+        }
+    }
+
+    /// Classifies a method token.
+    pub fn from_token(token: &str) -> Self {
+        match token {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "PUT" => Method::Put,
+            "M-SEARCH" => Method::MSearch,
+            "NOTIFY" => Method::Notify,
+            other => Method::Other(other.to_owned()),
+        }
+    }
+}
+
+/// An HTTP/1.1 message (request or response).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HttpMessage {
+    /// A request.
+    Request {
+        /// Request method.
+        method: Method,
+        /// Request target (path or `*`).
+        target: String,
+        /// Header fields in order.
+        headers: Vec<(String, String)>,
+        /// Message body.
+        body: Bytes,
+    },
+    /// A response.
+    Response {
+        /// Status code.
+        status: u16,
+        /// Reason phrase.
+        reason: String,
+        /// Header fields in order.
+        headers: Vec<(String, String)>,
+        /// Message body.
+        body: Bytes,
+    },
+}
+
+impl HttpMessage {
+    /// A GET request for `target` on `host`.
+    pub fn get(host: impl Into<String>, target: impl Into<String>) -> Self {
+        HttpMessage::Request {
+            method: Method::Get,
+            target: target.into(),
+            headers: vec![("Host".into(), host.into())],
+            body: Bytes::new(),
+        }
+    }
+
+    /// A POST request with a body.
+    pub fn post(host: impl Into<String>, target: impl Into<String>, body: impl Into<Bytes>) -> Self {
+        let body = body.into();
+        HttpMessage::Request {
+            method: Method::Post,
+            target: target.into(),
+            headers: vec![
+                ("Host".into(), host.into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// The header fields of the message.
+    pub fn headers(&self) -> &[(String, String)] {
+        match self {
+            HttpMessage::Request { headers, .. } | HttpMessage::Response { headers, .. } => headers,
+        }
+    }
+
+    /// The value of a header (case-insensitive name match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers()
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The message body.
+    pub fn body(&self) -> &Bytes {
+        match self {
+            HttpMessage::Request { body, .. } | HttpMessage::Response { body, .. } => body,
+        }
+    }
+
+    /// Appends the serialized message to `buf`.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        match self {
+            HttpMessage::Request {
+                method,
+                target,
+                headers,
+                body,
+            } => {
+                buf.put_slice(method.as_str().as_bytes());
+                buf.put_slice(b" ");
+                buf.put_slice(target.as_bytes());
+                buf.put_slice(b" HTTP/1.1\r\n");
+                for (name, value) in headers {
+                    buf.put_slice(name.as_bytes());
+                    buf.put_slice(b": ");
+                    buf.put_slice(value.as_bytes());
+                    buf.put_slice(b"\r\n");
+                }
+                buf.put_slice(b"\r\n");
+                buf.put_slice(body);
+            }
+            HttpMessage::Response {
+                status,
+                reason,
+                headers,
+                body,
+            } => {
+                buf.put_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+                for (name, value) in headers {
+                    buf.put_slice(name.as_bytes());
+                    buf.put_slice(b": ");
+                    buf.put_slice(value.as_bytes());
+                    buf.put_slice(b"\r\n");
+                }
+                buf.put_slice(b"\r\n");
+                buf.put_slice(body);
+            }
+        }
+    }
+
+    /// Encodes into a fresh byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Parses an HTTP message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Invalid`] if no CRLFCRLF head terminator is
+    /// found or the start line is malformed.
+    pub fn parse(bytes: &[u8]) -> Result<Self, ParseError> {
+        let head_end = find_head_end(bytes)
+            .ok_or_else(|| ParseError::invalid("http", "missing header terminator"))?;
+        let head = std::str::from_utf8(&bytes[..head_end])
+            .map_err(|_| ParseError::invalid("http", "head not utf-8"))?;
+        let body = Bytes::copy_from_slice(&bytes[head_end + 4..]);
+        let mut lines = head.split("\r\n");
+        let start = lines
+            .next()
+            .ok_or_else(|| ParseError::invalid("http", "empty message"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| ParseError::invalid("http", format!("bad header line {line:?}")))?;
+            headers.push((name.trim().to_owned(), value.trim().to_owned()));
+        }
+        if let Some(rest) = start.strip_prefix("HTTP/1.1 ").or_else(|| start.strip_prefix("HTTP/1.0 ")) {
+            let (code, reason) = rest.split_once(' ').unwrap_or((rest, ""));
+            let status = code
+                .parse()
+                .map_err(|_| ParseError::invalid("http", format!("bad status {code:?}")))?;
+            Ok(HttpMessage::Response {
+                status,
+                reason: reason.to_owned(),
+                headers,
+                body,
+            })
+        } else {
+            let mut parts = start.split(' ');
+            let (method, target, version) = (parts.next(), parts.next(), parts.next());
+            match (method, target, version) {
+                (Some(m), Some(t), Some(v)) if v.starts_with("HTTP/") => Ok(HttpMessage::Request {
+                    method: Method::from_token(m),
+                    target: t.to_owned(),
+                    headers,
+                    body,
+                }),
+                _ => Err(ParseError::invalid("http", format!("bad start line {start:?}"))),
+            }
+        }
+    }
+}
+
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_roundtrip() {
+        let msg = HttpMessage::get("fw.vendor.example", "/check?v=1.2");
+        let parsed = HttpMessage::parse(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed, msg);
+        assert_eq!(parsed.header("host"), Some("fw.vendor.example"));
+    }
+
+    #[test]
+    fn post_carries_body_and_length() {
+        let msg = HttpMessage::post("api.example", "/register", b"id=42".as_slice());
+        assert_eq!(msg.header("Content-Length"), Some("5"));
+        let parsed = HttpMessage::parse(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed.body().as_ref(), b"id=42");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let msg = HttpMessage::Response {
+            status: 200,
+            reason: "OK".into(),
+            headers: vec![("Server".into(), "lighttpd".into())],
+            body: Bytes::from_static(b"<xml/>"),
+        };
+        assert_eq!(HttpMessage::parse(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(HttpMessage::parse(b"not http at all").is_err());
+        assert!(HttpMessage::parse(b"GET\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn method_token_roundtrip() {
+        for token in ["GET", "POST", "PUT", "M-SEARCH", "NOTIFY", "PATCH"] {
+            assert_eq!(Method::from_token(token).as_str(), token);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The Sentinel enforcement module of the SDN controller.
+//!
+//! This is the reproduction of the paper's "custom module for Floodlight
+//! SDN controller" (Sect. V): it owns the enforcement-rule cache and
+//! turns `(source device, destination)` pairs into per-flow verdicts
+//! according to the device's isolation level and the overlay separation
+//! rules of Fig. 3.
+
+use std::net::{IpAddr, Ipv4Addr};
+
+use sentinel_netproto::{MacAddr, Packet};
+
+use crate::overlay::Overlay;
+use crate::{EnforcementRule, IsolationLevel, RuleCache};
+
+/// Where a flow is headed, from the gateway's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Destination {
+    /// Another device in the local network.
+    Device(MacAddr),
+    /// A broadcast or multicast destination within the local network.
+    LocalBroadcast,
+    /// A remote (Internet) endpoint.
+    Internet(IpAddr),
+}
+
+impl Destination {
+    /// Classifies a packet's destination given the local IPv4 subnet
+    /// (`prefix` address + mask length).
+    pub fn of_packet(packet: &Packet, subnet: Ipv4Addr, mask_bits: u8) -> Destination {
+        if packet.dst_mac().is_broadcast() || packet.dst_mac().is_multicast() {
+            return Destination::LocalBroadcast;
+        }
+        match packet.dst_ip() {
+            Some(IpAddr::V4(ip)) if !in_subnet(ip, subnet, mask_bits) && !ip.is_broadcast() => {
+                Destination::Internet(IpAddr::V4(ip))
+            }
+            Some(IpAddr::V6(ip)) if !ip.is_loopback() && (ip.segments()[0] & 0xffc0) != 0xfe80 => {
+                Destination::Internet(IpAddr::V6(ip))
+            }
+            _ => Destination::Device(packet.dst_mac()),
+        }
+    }
+}
+
+fn in_subnet(ip: Ipv4Addr, subnet: Ipv4Addr, mask_bits: u8) -> bool {
+    let mask = if mask_bits == 0 {
+        0
+    } else {
+        u32::MAX << (32 - mask_bits)
+    };
+    (u32::from(ip) & mask) == (u32::from(subnet) & mask)
+}
+
+/// Why a flow was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DenyReason {
+    /// Source and destination devices live in different overlays.
+    CrossOverlay,
+    /// The source device has no Internet access.
+    InternetBlocked,
+    /// The remote endpoint is not on the restricted device's whitelist.
+    EndpointNotPermitted,
+}
+
+/// The controller's decision for a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Forward the flow.
+    Allow,
+    /// Drop the flow.
+    Deny(DenyReason),
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Allow`].
+    pub fn is_allow(&self) -> bool {
+        matches!(self, Verdict::Allow)
+    }
+}
+
+/// The enforcement module: rule cache + decision logic.
+///
+/// Devices without a rule are treated according to the module's default
+/// isolation level — [`IsolationLevel::Strict`], matching the paper's
+/// "unknown devices will be assigned the level strict".
+#[derive(Debug)]
+pub struct EnforcementModule {
+    cache: RuleCache,
+    default_level: IsolationLevel,
+}
+
+impl Default for EnforcementModule {
+    fn default() -> Self {
+        EnforcementModule {
+            cache: RuleCache::new(),
+            default_level: IsolationLevel::Strict,
+        }
+    }
+}
+
+impl EnforcementModule {
+    /// Creates a module with the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) a device's enforcement rule.
+    pub fn install_rule(&mut self, rule: EnforcementRule) {
+        self.cache.insert(rule);
+    }
+
+    /// Removes a device's rule (device left the network).
+    pub fn remove_rule(&mut self, mac: MacAddr) -> Option<EnforcementRule> {
+        self.cache.remove(mac)
+    }
+
+    /// Read access to the rule cache.
+    pub fn cache(&self) -> &RuleCache {
+        &self.cache
+    }
+
+    /// Mutable access to the rule cache (eviction policies, stats).
+    pub fn cache_mut(&mut self) -> &mut RuleCache {
+        &mut self.cache
+    }
+
+    /// The isolation level currently effective for `mac`.
+    pub fn level_of(&self, mac: MacAddr) -> IsolationLevel {
+        self.cache.get(mac).map_or(self.default_level, |r| r.level)
+    }
+
+    /// The overlay `mac` currently lives in.
+    pub fn overlay_of(&self, mac: MacAddr) -> Overlay {
+        Overlay::for_level(self.level_of(mac))
+    }
+
+    /// Decides whether a flow from `src` to `dst` is permitted.
+    pub fn decide(&mut self, src: MacAddr, dst: Destination) -> Verdict {
+        let src_level = self
+            .cache
+            .lookup(src)
+            .map_or(self.default_level, |r| r.level);
+        let src_overlay = Overlay::for_level(src_level);
+        match dst {
+            Destination::Device(dst_mac) => {
+                let dst_overlay = self.overlay_of(dst_mac);
+                if src_overlay.reachable(dst_overlay) {
+                    Verdict::Allow
+                } else {
+                    Verdict::Deny(DenyReason::CrossOverlay)
+                }
+            }
+            // Broadcast/multicast stays within the source's overlay by
+            // construction (the switch only replicates to same-overlay
+            // ports), so it is always permitted.
+            Destination::LocalBroadcast => Verdict::Allow,
+            Destination::Internet(ip) => match src_level {
+                IsolationLevel::Trusted => Verdict::Allow,
+                IsolationLevel::Strict => Verdict::Deny(DenyReason::InternetBlocked),
+                IsolationLevel::Restricted => {
+                    let permitted = self
+                        .cache
+                        .get(src)
+                        .is_some_and(|rule| rule.permits_remote(ip));
+                    if permitted {
+                        Verdict::Allow
+                    } else {
+                        Verdict::Deny(DenyReason::EndpointNotPermitted)
+                    }
+                }
+            },
+        }
+    }
+
+    /// Decides a packet given the local subnet, classifying its
+    /// destination first. This is the flow-granular path: on top of the
+    /// endpoint decision it applies the rule's optional remote-port
+    /// filter (Sect. III-C.2).
+    pub fn decide_packet(&mut self, packet: &Packet, subnet: Ipv4Addr, mask_bits: u8) -> Verdict {
+        let dst = Destination::of_packet(packet, subnet, mask_bits);
+        let verdict = self.decide(packet.src_mac(), dst);
+        if let (Verdict::Allow, Destination::Internet(_)) = (verdict, dst) {
+            let port_ok = self
+                .cache
+                .get(packet.src_mac())
+                .is_none_or(|rule| rule.permits_remote_port(packet.dst_port()));
+            if !port_ok {
+                return Verdict::Deny(DenyReason::EndpointNotPermitted);
+            }
+        }
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([0, 0, 0, 0, 1, last])
+    }
+
+    fn module() -> EnforcementModule {
+        let mut m = EnforcementModule::new();
+        m.install_rule(EnforcementRule::trusted(mac(1)));
+        m.install_rule(EnforcementRule::strict(mac(2)));
+        m.install_rule(EnforcementRule::restricted(
+            mac(3),
+            ["52.29.100.7".parse().unwrap()],
+        ));
+        m
+    }
+
+    #[test]
+    fn trusted_reaches_internet_and_trusted_devices() {
+        let mut m = module();
+        assert!(m.decide(mac(1), Destination::Internet("8.8.8.8".parse().unwrap())).is_allow());
+        assert!(m.decide(mac(1), Destination::Device(mac(1))).is_allow());
+    }
+
+    #[test]
+    fn strict_blocked_from_internet_and_trusted_overlay() {
+        let mut m = module();
+        assert_eq!(
+            m.decide(mac(2), Destination::Internet("8.8.8.8".parse().unwrap())),
+            Verdict::Deny(DenyReason::InternetBlocked)
+        );
+        assert_eq!(
+            m.decide(mac(2), Destination::Device(mac(1))),
+            Verdict::Deny(DenyReason::CrossOverlay)
+        );
+    }
+
+    #[test]
+    fn strict_and_restricted_share_untrusted_overlay() {
+        let mut m = module();
+        assert!(m.decide(mac(2), Destination::Device(mac(3))).is_allow());
+        assert!(m.decide(mac(3), Destination::Device(mac(2))).is_allow());
+    }
+
+    #[test]
+    fn restricted_reaches_only_whitelisted_endpoints() {
+        let mut m = module();
+        assert!(m
+            .decide(mac(3), Destination::Internet("52.29.100.7".parse().unwrap()))
+            .is_allow());
+        assert_eq!(
+            m.decide(mac(3), Destination::Internet("8.8.8.8".parse().unwrap())),
+            Verdict::Deny(DenyReason::EndpointNotPermitted)
+        );
+    }
+
+    #[test]
+    fn unknown_devices_default_to_strict() {
+        let mut m = module();
+        assert_eq!(m.level_of(mac(9)), IsolationLevel::Strict);
+        assert_eq!(
+            m.decide(mac(9), Destination::Device(mac(1))),
+            Verdict::Deny(DenyReason::CrossOverlay)
+        );
+        assert!(m.decide(mac(9), Destination::Device(mac(2))).is_allow());
+    }
+
+    #[test]
+    fn trusted_cannot_reach_untrusted_overlay() {
+        // Network isolation protects untrusted devices from probing too —
+        // the overlays are "strictly separated" (Sect. VIII-A).
+        let mut m = module();
+        assert_eq!(
+            m.decide(mac(1), Destination::Device(mac(2))),
+            Verdict::Deny(DenyReason::CrossOverlay)
+        );
+    }
+
+    #[test]
+    fn destination_classification() {
+        let subnet = Ipv4Addr::new(192, 168, 0, 0);
+        let device = Packet::dhcp_discover(mac(5), 1, 0);
+        assert_eq!(
+            Destination::of_packet(&device, subnet, 24),
+            Destination::LocalBroadcast
+        );
+        let remote = Packet::udp_ipv4(
+            sentinel_netproto::Timestamp::ZERO,
+            mac(5),
+            mac(0),
+            Ipv4Addr::new(192, 168, 0, 30),
+            Ipv4Addr::new(52, 29, 100, 7),
+            50000,
+            443,
+            sentinel_netproto::AppPayload::Empty,
+        );
+        assert_eq!(
+            Destination::of_packet(&remote, subnet, 24),
+            Destination::Internet("52.29.100.7".parse().unwrap())
+        );
+        let local = Packet::udp_ipv4(
+            sentinel_netproto::Timestamp::ZERO,
+            mac(5),
+            mac(6),
+            Ipv4Addr::new(192, 168, 0, 30),
+            Ipv4Addr::new(192, 168, 0, 31),
+            50000,
+            80,
+            sentinel_netproto::AppPayload::Empty,
+        );
+        assert_eq!(
+            Destination::of_packet(&local, subnet, 24),
+            Destination::Device(mac(6))
+        );
+    }
+
+    #[test]
+    fn port_filter_enforced_at_flow_granularity() {
+        let mut m = EnforcementModule::new();
+        let cloud: Ipv4Addr = "52.29.100.7".parse().unwrap();
+        m.install_rule(
+            EnforcementRule::restricted(mac(4), [std::net::IpAddr::V4(cloud)])
+                .with_port_filter([443]),
+        );
+        let subnet = Ipv4Addr::new(192, 168, 0, 0);
+        let packet_to = |port: u16| {
+            Packet::udp_ipv4(
+                sentinel_netproto::Timestamp::ZERO,
+                mac(4),
+                mac(0),
+                Ipv4Addr::new(192, 168, 0, 30),
+                cloud,
+                50000,
+                port,
+                sentinel_netproto::AppPayload::Empty,
+            )
+        };
+        assert!(m.decide_packet(&packet_to(443), subnet, 24).is_allow());
+        assert_eq!(
+            m.decide_packet(&packet_to(23), subnet, 24),
+            Verdict::Deny(DenyReason::EndpointNotPermitted),
+            "telnet to the cloud endpoint is filtered out"
+        );
+    }
+
+    #[test]
+    fn rule_replacement_changes_verdict() {
+        let mut m = module();
+        assert!(!m.decide(mac(2), Destination::Internet("1.1.1.1".parse().unwrap())).is_allow());
+        m.install_rule(EnforcementRule::trusted(mac(2)));
+        assert!(m.decide(mac(2), Destination::Internet("1.1.1.1".parse().unwrap())).is_allow());
+    }
+}

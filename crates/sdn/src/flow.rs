@@ -1,0 +1,180 @@
+//! OpenFlow-style exact-match flow table.
+//!
+//! The switch caches a per-flow verdict after the controller decides it,
+//! so only the first packet of each flow pays the packet-in round trip —
+//! "for any given flow, there is only one matching enforcement rule"
+//! (Sect. V).
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use serde::{Deserialize, Serialize};
+
+use sentinel_netproto::{MacAddr, Packet, Timestamp};
+
+/// The exact-match key identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source MAC.
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source IP, if the packet has an IP layer.
+    pub src_ip: Option<IpAddr>,
+    /// Destination IP, if the packet has an IP layer.
+    pub dst_ip: Option<IpAddr>,
+    /// Transport ports, if any.
+    pub ports: Option<(u16, u16)>,
+}
+
+impl FlowKey {
+    /// Extracts the flow key of a packet.
+    pub fn of(packet: &Packet) -> FlowKey {
+        FlowKey {
+            src_mac: packet.src_mac(),
+            dst_mac: packet.dst_mac(),
+            src_ip: packet.src_ip(),
+            dst_ip: packet.dst_ip(),
+            ports: packet.ports(),
+        }
+    }
+}
+
+/// The action a flow entry applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowAction {
+    /// Forward matching packets.
+    Forward,
+    /// Silently drop matching packets.
+    Drop,
+}
+
+#[derive(Debug, Clone)]
+struct FlowEntry {
+    action: FlowAction,
+    packets: u64,
+    bytes: u64,
+    last_used: Timestamp,
+}
+
+/// An exact-match flow table with per-entry counters and idle expiry.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    entries: HashMap<FlowKey, FlowEntry>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs (or replaces) an entry.
+    pub fn install(&mut self, key: FlowKey, action: FlowAction, now: Timestamp) {
+        self.entries.insert(
+            key,
+            FlowEntry {
+                action,
+                packets: 0,
+                bytes: 0,
+                last_used: now,
+            },
+        );
+    }
+
+    /// Matches a packet, updating counters. Returns the entry's action,
+    /// or `None` on a table miss.
+    pub fn apply(&mut self, packet: &Packet) -> Option<FlowAction> {
+        let key = FlowKey::of(packet);
+        let entry = self.entries.get_mut(&key)?;
+        entry.packets += 1;
+        entry.bytes += packet.wire_len() as u64;
+        entry.last_used = packet.timestamp;
+        Some(entry.action)
+    }
+
+    /// The action installed for `key`, without counter updates.
+    pub fn action(&self, key: &FlowKey) -> Option<FlowAction> {
+        self.entries.get(key).map(|e| e.action)
+    }
+
+    /// The `(packets, bytes)` counters for `key`.
+    pub fn counters(&self, key: &FlowKey) -> Option<(u64, u64)> {
+        self.entries.get(key).map(|e| (e.packets, e.bytes))
+    }
+
+    /// Number of installed flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table has no flows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes entries idle since before `now - idle`, returning how many
+    /// were expired.
+    pub fn expire_idle(&mut self, now: Timestamp, idle: std::time::Duration) -> usize {
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| now.saturating_since(e.last_used) < idle);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn packet(last: u8, t: u64) -> Packet {
+        Packet::dhcp_discover(MacAddr::new([0, 0, 0, 0, 0, last]), 1, t)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut table = FlowTable::new();
+        let p = packet(1, 0);
+        assert_eq!(table.apply(&p), None);
+        table.install(FlowKey::of(&p), FlowAction::Forward, p.timestamp);
+        assert_eq!(table.apply(&p), Some(FlowAction::Forward));
+        let (packets, bytes) = table.counters(&FlowKey::of(&p)).unwrap();
+        assert_eq!(packets, 1);
+        assert_eq!(bytes, p.wire_len() as u64);
+    }
+
+    #[test]
+    fn different_flows_do_not_collide() {
+        let mut table = FlowTable::new();
+        let a = packet(1, 0);
+        let b = packet(2, 0);
+        table.install(FlowKey::of(&a), FlowAction::Drop, a.timestamp);
+        assert_eq!(table.apply(&b), None);
+        assert_eq!(table.apply(&a), Some(FlowAction::Drop));
+    }
+
+    #[test]
+    fn idle_expiry() {
+        let mut table = FlowTable::new();
+        let early = packet(1, 0);
+        let late = packet(2, 30_000_000);
+        table.install(FlowKey::of(&early), FlowAction::Forward, early.timestamp);
+        table.install(FlowKey::of(&late), FlowAction::Forward, late.timestamp);
+        let expired = table.expire_idle(
+            Timestamp::from_secs(40),
+            Duration::from_secs(20),
+        );
+        assert_eq!(expired, 1);
+        assert_eq!(table.len(), 1);
+        assert!(table.action(&FlowKey::of(&late)).is_some());
+    }
+
+    #[test]
+    fn flow_key_captures_five_tuple() {
+        let p = packet(1, 0);
+        let key = FlowKey::of(&p);
+        assert_eq!(key.ports, Some((68, 67)));
+        assert!(key.dst_ip.is_some());
+    }
+}

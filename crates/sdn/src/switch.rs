@@ -1,0 +1,188 @@
+//! An Open vSwitch-style software switch: exact-match flow cache with
+//! packet-in escalation to the enforcement module.
+
+use std::net::Ipv4Addr;
+
+use sentinel_netproto::Packet;
+
+use crate::{EnforcementModule, FlowAction, FlowKey, FlowTable, Verdict};
+
+/// What the switch did with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SwitchDecision {
+    /// The action applied.
+    pub action: FlowAction,
+    /// Whether the packet caused a packet-in to the controller (flow
+    /// table miss).
+    pub packet_in: bool,
+}
+
+/// The gateway's software switch.
+///
+/// With filtering disabled the switch degenerates to a plain learning
+/// switch that forwards everything — the paper's "without filtering"
+/// baseline in Tables V–VI and Fig. 6.
+#[derive(Debug)]
+pub struct OvsSwitch {
+    table: FlowTable,
+    filtering: bool,
+    subnet: Ipv4Addr,
+    mask_bits: u8,
+    processed: u64,
+    packet_ins: u64,
+}
+
+impl OvsSwitch {
+    /// Creates a switch for the given local subnet with filtering
+    /// enabled.
+    pub fn new(subnet: Ipv4Addr, mask_bits: u8) -> Self {
+        OvsSwitch {
+            table: FlowTable::new(),
+            filtering: true,
+            subnet,
+            mask_bits,
+            processed: 0,
+            packet_ins: 0,
+        }
+    }
+
+    /// A switch for the paper's lab subnet `192.168.0.0/24`.
+    pub fn lab() -> Self {
+        OvsSwitch::new(Ipv4Addr::new(192, 168, 0, 0), 24)
+    }
+
+    /// Enables or disables the filtering mechanism (the with/without
+    /// comparison axis of the evaluation).
+    pub fn set_filtering(&mut self, filtering: bool) {
+        self.filtering = filtering;
+    }
+
+    /// Whether filtering is enabled.
+    pub fn filtering(&self) -> bool {
+        self.filtering
+    }
+
+    /// Processes one packet: flow-table hit applies the cached action;
+    /// a miss raises a packet-in to `controller`, installs the resulting
+    /// flow, and applies it.
+    pub fn process(&mut self, packet: &Packet, controller: &mut EnforcementModule) -> SwitchDecision {
+        self.processed += 1;
+        if !self.filtering {
+            return SwitchDecision {
+                action: FlowAction::Forward,
+                packet_in: false,
+            };
+        }
+        if let Some(action) = self.table.apply(packet) {
+            return SwitchDecision {
+                action,
+                packet_in: false,
+            };
+        }
+        self.packet_ins += 1;
+        let verdict = controller.decide_packet(packet, self.subnet, self.mask_bits);
+        let action = match verdict {
+            Verdict::Allow => FlowAction::Forward,
+            Verdict::Deny(_) => FlowAction::Drop,
+        };
+        self.table.install(FlowKey::of(packet), action, packet.timestamp);
+        self.table.apply(packet);
+        SwitchDecision {
+            action,
+            packet_in: true,
+        }
+    }
+
+    /// The flow table (for inspection and expiry policies).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Mutable flow-table access.
+    pub fn table_mut(&mut self) -> &mut FlowTable {
+        &mut self.table
+    }
+
+    /// Total packets processed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Total packet-in events raised.
+    pub fn packet_ins(&self) -> u64 {
+        self.packet_ins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EnforcementRule;
+    use sentinel_netproto::{AppPayload, MacAddr, Timestamp};
+
+    fn mac(last: u8) -> MacAddr {
+        MacAddr::new([0, 0, 0, 0, 2, last])
+    }
+
+    fn remote_packet(src: MacAddr, t: u64) -> Packet {
+        Packet::udp_ipv4(
+            Timestamp::from_micros(t),
+            src,
+            mac(0),
+            Ipv4Addr::new(192, 168, 0, 40),
+            Ipv4Addr::new(52, 29, 100, 7),
+            50000,
+            443,
+            AppPayload::Empty,
+        )
+    }
+
+    #[test]
+    fn first_packet_raises_packet_in_rest_use_cache() {
+        let mut switch = OvsSwitch::lab();
+        let mut controller = EnforcementModule::new();
+        controller.install_rule(EnforcementRule::trusted(mac(1)));
+        let p1 = remote_packet(mac(1), 0);
+        let p2 = remote_packet(mac(1), 1000);
+        let d1 = switch.process(&p1, &mut controller);
+        let d2 = switch.process(&p2, &mut controller);
+        assert!(d1.packet_in);
+        assert_eq!(d1.action, FlowAction::Forward);
+        assert!(!d2.packet_in, "second packet must hit the flow cache");
+        assert_eq!(d2.action, FlowAction::Forward);
+        assert_eq!(switch.packet_ins(), 1);
+        assert_eq!(switch.processed(), 2);
+    }
+
+    #[test]
+    fn strict_device_flow_dropped() {
+        let mut switch = OvsSwitch::lab();
+        let mut controller = EnforcementModule::new();
+        controller.install_rule(EnforcementRule::strict(mac(2)));
+        let decision = switch.process(&remote_packet(mac(2), 0), &mut controller);
+        assert_eq!(decision.action, FlowAction::Drop);
+        // Drop is cached too: the adversary cannot force packet-in storms.
+        let again = switch.process(&remote_packet(mac(2), 10), &mut controller);
+        assert_eq!(again.action, FlowAction::Drop);
+        assert!(!again.packet_in);
+    }
+
+    #[test]
+    fn without_filtering_everything_forwards() {
+        let mut switch = OvsSwitch::lab();
+        switch.set_filtering(false);
+        let mut controller = EnforcementModule::new();
+        let decision = switch.process(&remote_packet(mac(3), 0), &mut controller);
+        assert_eq!(decision.action, FlowAction::Forward);
+        assert!(!decision.packet_in);
+        assert_eq!(switch.table().len(), 0, "no flows installed");
+    }
+
+    #[test]
+    fn unknown_device_gets_strict_default() {
+        let mut switch = OvsSwitch::lab();
+        let mut controller = EnforcementModule::new();
+        let decision = switch.process(&remote_packet(mac(9), 0), &mut controller);
+        assert_eq!(decision.action, FlowAction::Drop);
+    }
+}

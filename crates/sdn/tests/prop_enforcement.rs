@@ -1,0 +1,185 @@
+//! Property tests for the enforcement substrate: the isolation
+//! invariants of Fig. 3 hold for *arbitrary* rule sets and flows, and the
+//! switch/rule-cache state machines stay coherent under random workloads.
+
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr};
+
+use sentinel_netproto::{AppPayload, MacAddr, Packet, Timestamp};
+use sentinel_sdn::overlay::Overlay;
+use sentinel_sdn::{
+    Destination, EnforcementModule, EnforcementRule, FlowAction, IsolationLevel, OvsSwitch,
+    RuleCache, Verdict,
+};
+
+fn mac_strategy() -> impl Strategy<Value = MacAddr> {
+    (0u8..8).prop_map(|last| MacAddr::new([2, 0, 0, 0, 0, last]))
+}
+
+fn level_strategy() -> impl Strategy<Value = IsolationLevel> {
+    prop_oneof![
+        Just(IsolationLevel::Strict),
+        Just(IsolationLevel::Restricted),
+        Just(IsolationLevel::Trusted),
+    ]
+}
+
+fn public_ip_strategy() -> impl Strategy<Value = IpAddr> {
+    (1u8..200, any::<u8>(), any::<u8>(), 1u8..255)
+        .prop_map(|(a, b, c, d)| IpAddr::V4(Ipv4Addr::new(a.max(11), b, c, d)))
+}
+
+fn rule_for(mac: MacAddr, level: IsolationLevel, whitelist: &[IpAddr]) -> EnforcementRule {
+    match level {
+        IsolationLevel::Strict => EnforcementRule::strict(mac),
+        IsolationLevel::Restricted => EnforcementRule::restricted(mac, whitelist.iter().copied()),
+        IsolationLevel::Trusted => EnforcementRule::trusted(mac),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The central security invariant: traffic between two devices is
+    /// allowed iff they share an overlay, for every combination of
+    /// (installed or defaulted) isolation levels.
+    #[test]
+    fn device_to_device_respects_overlays(
+        src_level in proptest::option::of(level_strategy()),
+        dst_level in proptest::option::of(level_strategy()),
+    ) {
+        let src = MacAddr::new([2, 0, 0, 0, 0, 1]);
+        let dst = MacAddr::new([2, 0, 0, 0, 0, 2]);
+        let mut module = EnforcementModule::new();
+        if let Some(level) = src_level {
+            module.install_rule(rule_for(src, level, &[]));
+        }
+        if let Some(level) = dst_level {
+            module.install_rule(rule_for(dst, level, &[]));
+        }
+        let effective = |level: Option<IsolationLevel>| level.unwrap_or(IsolationLevel::Strict);
+        let expected = Overlay::for_level(effective(src_level))
+            .reachable(Overlay::for_level(effective(dst_level)));
+        let verdict = module.decide(src, Destination::Device(dst));
+        prop_assert_eq!(verdict.is_allow(), expected);
+    }
+
+    /// Internet access: strict never, trusted always, restricted iff
+    /// whitelisted — for arbitrary whitelists and destinations.
+    #[test]
+    fn internet_access_follows_fig3(
+        level in level_strategy(),
+        whitelist in proptest::collection::vec(public_ip_strategy(), 0..4),
+        target in public_ip_strategy(),
+    ) {
+        let mac = MacAddr::new([2, 0, 0, 0, 0, 3]);
+        let mut module = EnforcementModule::new();
+        module.install_rule(rule_for(mac, level, &whitelist));
+        let verdict = module.decide(mac, Destination::Internet(target));
+        let expected = match level {
+            IsolationLevel::Strict => false,
+            IsolationLevel::Trusted => true,
+            IsolationLevel::Restricted => whitelist.contains(&target),
+        };
+        prop_assert_eq!(verdict.is_allow(), expected, "level {}", level);
+    }
+
+    /// A strict device can never obtain internet access, no matter what
+    /// sequence of other rules is installed around it.
+    #[test]
+    fn strict_device_never_escapes(
+        other_rules in proptest::collection::vec((mac_strategy(), level_strategy()), 0..8),
+        target in public_ip_strategy(),
+    ) {
+        let victim = MacAddr::new([2, 0, 0, 0, 1, 99]);
+        let mut module = EnforcementModule::new();
+        module.install_rule(EnforcementRule::strict(victim));
+        for (mac, level) in other_rules {
+            if mac != victim {
+                module.install_rule(rule_for(mac, level, &[target]));
+            }
+        }
+        prop_assert_eq!(
+            module.decide(victim, Destination::Internet(target)).is_allow(),
+            false
+        );
+    }
+
+    /// The switch's cached decision always equals the controller's
+    /// verdict, and re-processing never raises a second packet-in.
+    #[test]
+    fn switch_cache_is_coherent(
+        level in level_strategy(),
+        dst_last_octet in 1u8..255,
+        port in 1024u16..60000,
+    ) {
+        let mac = MacAddr::new([2, 0, 0, 0, 0, 5]);
+        let mut module = EnforcementModule::new();
+        module.install_rule(rule_for(mac, level, &[]));
+        let mut switch = OvsSwitch::lab();
+        let packet = Packet::udp_ipv4(
+            Timestamp::ZERO,
+            mac,
+            MacAddr::new([2, 9, 9, 9, 9, 9]),
+            Ipv4Addr::new(192, 168, 0, 50),
+            Ipv4Addr::new(52, 1, 1, dst_last_octet),
+            port,
+            443,
+            AppPayload::Empty,
+        );
+        let verdict = module.decide_packet(&packet, Ipv4Addr::new(192, 168, 0, 0), 24);
+        let first = switch.process(&packet, &mut module);
+        let second = switch.process(&packet, &mut module);
+        prop_assert!(first.packet_in);
+        prop_assert!(!second.packet_in);
+        prop_assert_eq!(first.action, second.action);
+        let expected = match verdict {
+            Verdict::Allow => FlowAction::Forward,
+            Verdict::Deny(_) => FlowAction::Drop,
+        };
+        prop_assert_eq!(first.action, expected);
+    }
+
+    /// Rule-cache bookkeeping: size and memory track inserts/removes for
+    /// arbitrary operation sequences.
+    #[test]
+    fn rule_cache_bookkeeping(ops in proptest::collection::vec((0u8..16, any::<bool>()), 1..64)) {
+        let mut cache = RuleCache::new();
+        let mut reference = std::collections::HashMap::new();
+        for (id, insert) in ops {
+            let mac = MacAddr::new([3, 0, 0, 0, 0, id]);
+            if insert {
+                cache.insert(EnforcementRule::strict(mac));
+                reference.insert(mac, ());
+            } else {
+                let removed = cache.remove(mac);
+                prop_assert_eq!(removed.is_some(), reference.remove(&mac).is_some());
+            }
+            prop_assert_eq!(cache.len(), reference.len());
+        }
+        // Memory estimate scales exactly with population for uniform rules.
+        let per_rule = if cache.is_empty() {
+            0
+        } else {
+            cache.memory_bytes() / cache.len()
+        };
+        prop_assert_eq!(cache.memory_bytes(), per_rule * cache.len());
+        // LRU eviction respects the cap for any cap.
+        let evicted = cache.evict_to(4);
+        prop_assert!(cache.len() <= 4);
+        prop_assert_eq!(evicted.len() + cache.len(), reference.len());
+    }
+
+    /// Broadcast/multicast destinations are classified as local and
+    /// allowed (they cannot cross overlays by construction).
+    #[test]
+    fn broadcast_is_local(level in level_strategy()) {
+        let mac = MacAddr::new([2, 0, 0, 0, 0, 6]);
+        let mut module = EnforcementModule::new();
+        module.install_rule(rule_for(mac, level, &[]));
+        let packet = Packet::dhcp_discover(mac, 1, 0);
+        let dst = Destination::of_packet(&packet, Ipv4Addr::new(192, 168, 0, 0), 24);
+        prop_assert_eq!(dst, Destination::LocalBroadcast);
+        prop_assert!(module.decide(mac, dst).is_allow());
+    }
+}
