@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use sentinel_fingerprint::editdist::{levenshtein_distance, osa_distance};
-use sentinel_fingerprint::{extract, FeatureVector, Fingerprint};
+use sentinel_fingerprint::editdist::{levenshtein_distance, osa_distance, osa_distance_bounded};
+use sentinel_fingerprint::{extract, FeatureVector, Fingerprint, SymbolTable};
 use sentinel_netproto::{MacAddr, Packet};
 
 /// Builds a synthetic fingerprint of `n` distinct packet columns.
@@ -37,6 +37,38 @@ fn scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn interned(c: &mut Criterion) {
+    // The identifier's production path: packet columns interned to `u32`
+    // symbols at training time, probes projected at identification time,
+    // and a score cutoff that lets losing candidates abandon the DP.
+    let mut group = c.benchmark_group("editdist_interned");
+    for n in [10u32, 20, 50, 100, 200] {
+        let a = fingerprint(n, 0);
+        let b = fingerprint(n, 1);
+        let mut table = SymbolTable::new();
+        let ia = table.intern(&a);
+        let ib = table.project(&b);
+        let exact = osa_distance(ia.symbols(), ib.symbols());
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bencher, _| {
+            bencher.iter(|| osa_distance(a.vectors(), b.vectors()))
+        });
+        group.bench_with_input(BenchmarkId::new("interned", n), &n, |bencher, _| {
+            bencher.iter(|| osa_distance(ia.symbols(), ib.symbols()))
+        });
+        // A generous bound (the true distance): the band still prunes the
+        // DP corners without ever giving up.
+        group.bench_with_input(BenchmarkId::new("bounded_exact", n), &n, |bencher, _| {
+            bencher.iter(|| osa_distance_bounded(ia.symbols(), ib.symbols(), exact))
+        });
+        // A tight bound (half the true distance): the typical losing
+        // candidate, abandoned as soon as every band cell exceeds it.
+        group.bench_with_input(BenchmarkId::new("bounded_tight", n), &n, |bencher, _| {
+            bencher.iter(|| osa_distance_bounded(ia.symbols(), ib.symbols(), exact / 2))
+        });
+    }
+    group.finish();
+}
+
 fn realistic(c: &mut Criterion) {
     // Distance between two real setup traces of the same device-type.
     let devices = sentinel_devicesim::catalog();
@@ -51,6 +83,6 @@ fn realistic(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(40);
-    targets = scaling, realistic
+    targets = scaling, interned, realistic
 }
 criterion_main!(benches);

@@ -68,7 +68,9 @@ fn switch_paths(c: &mut Criterion) {
 fn wire_codec(c: &mut Criterion) {
     let packet = Packet::dhcp_discover(mac(9), 42, 0);
     let bytes = packet.encode();
-    c.bench_function("packet_encode", |b| b.iter(|| std::hint::black_box(&packet).encode()));
+    c.bench_function("packet_encode", |b| {
+        b.iter(|| std::hint::black_box(&packet).encode())
+    });
     c.bench_function("packet_parse", |b| {
         b.iter(|| Packet::parse(std::hint::black_box(&bytes), Timestamp::ZERO).expect("parse"))
     });

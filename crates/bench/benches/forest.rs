@@ -36,6 +36,24 @@ fn forest_train(c: &mut Criterion) {
     group.finish();
 }
 
+fn forest_train_threads(c: &mut Criterion) {
+    // The same fit fanned out over worker threads: per-tree RNG streams
+    // are pre-drawn, so every thread count produces the identical forest
+    // (asserted in sentinel-ml's tests) — this measures only the speedup.
+    let data = synthetic(880, 276);
+    let mut group = c.benchmark_group("forest_train_threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let config = ForestConfig::default().with_seed(1).with_threads(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &config,
+            |b, config| b.iter(|| RandomForest::fit(&data, config)),
+        );
+    }
+    group.finish();
+}
+
 fn forest_predict(c: &mut Criterion) {
     let data = synthetic(220, 276);
     let forest = RandomForest::fit(&data, &ForestConfig::default().with_seed(1));
@@ -70,6 +88,6 @@ fn incremental_type_addition(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = forest_train, forest_predict, incremental_type_addition
+    targets = forest_train, forest_train_threads, forest_predict, incremental_type_addition
 }
 criterion_main!(benches);

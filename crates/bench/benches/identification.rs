@@ -37,7 +37,11 @@ fn identification(c: &mut Criterion) {
         )
     });
     group.bench_function("one_classification", |b| {
-        b.iter(|| identifier.bank().accepts(0, std::hint::black_box(&easy_fixed)))
+        b.iter(|| {
+            identifier
+                .bank()
+                .accepts(0, std::hint::black_box(&easy_fixed))
+        })
     });
     group.bench_function("27_classifications", |b| {
         b.iter(|| identifier.bank().matches(std::hint::black_box(&easy_fixed)))

@@ -30,7 +30,10 @@ fn main() {
         }
     };
 
-    print!("{}", tables::banner("Ablations — design choices of Sect. IV"));
+    print!(
+        "{}",
+        tables::banner("Ablations — design choices of Sect. IV")
+    );
     println!(
         "baseline: {} runs/type, {}-fold CV x {} reps, {} trees\n",
         base.runs, base.folds, base.repetitions, base.trees
@@ -51,10 +54,16 @@ fn main() {
         let marker = if packets == 12 { " (paper)" } else { "" };
         rows.push(run(
             format!("F' = {packets} packets{marker}"),
-            EvalConfig { packets, ..base.clone() },
+            EvalConfig {
+                packets,
+                ..base.clone()
+            },
         ));
     }
-    print!("{}", tables::render(&["F' truncation", "Accuracy", "Discrim."], &rows));
+    print!(
+        "{}",
+        tables::render(&["F' truncation", "Accuracy", "Discrim."], &rows)
+    );
     println!();
 
     // Sweep 2: negative-sampling ratio (paper: 10).
@@ -63,10 +72,16 @@ fn main() {
         let marker = if ratio == 10 { " (paper)" } else { "" };
         rows.push(run(
             format!("1:{ratio}{marker}"),
-            EvalConfig { negative_ratio: ratio, ..base.clone() },
+            EvalConfig {
+                negative_ratio: ratio,
+                ..base.clone()
+            },
         ));
     }
-    print!("{}", tables::render(&["Negative ratio", "Accuracy", "Discrim."], &rows));
+    print!(
+        "{}",
+        tables::render(&["Negative ratio", "Accuracy", "Discrim."], &rows)
+    );
     println!();
 
     // Sweep 3: discrimination references (paper: 5).
@@ -75,10 +90,16 @@ fn main() {
         let marker = if references == 5 { " (paper)" } else { "" };
         rows.push(run(
             format!("{references} refs{marker}"),
-            EvalConfig { references, ..base.clone() },
+            EvalConfig {
+                references,
+                ..base.clone()
+            },
         ));
     }
-    print!("{}", tables::render(&["Discrimination refs", "Accuracy", "Discrim."], &rows));
+    print!(
+        "{}",
+        tables::render(&["Discrimination refs", "Accuracy", "Discrim."], &rows)
+    );
     println!();
 
     // Sweep 4: pipeline variants.
@@ -88,9 +109,18 @@ fn main() {
         ("rf-only", IdentifyMode::RfOnly),
         ("edit-only", IdentifyMode::EditOnly),
     ] {
-        rows.push(run(label.to_string(), EvalConfig { mode, ..base.clone() }));
+        rows.push(run(
+            label.to_string(),
+            EvalConfig {
+                mode,
+                ..base.clone()
+            },
+        ));
     }
-    print!("{}", tables::render(&["Pipeline", "Accuracy", "Discrim."], &rows));
+    print!(
+        "{}",
+        tables::render(&["Pipeline", "Accuracy", "Discrim."], &rows)
+    );
     println!(
         "\nreading: accuracy saturates around the paper's 12-packet F'; the negative\n\
          ratio trades rejection power against per-type recall; a handful of\n\

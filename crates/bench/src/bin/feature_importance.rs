@@ -24,7 +24,10 @@ fn main() {
     let seed: u64 = args.get("seed", 42);
     let trees: usize = args.get("trees", 100);
 
-    print!("{}", tables::banner("Extension — Gini importance of the Table I features"));
+    print!(
+        "{}",
+        tables::banner("Extension — Gini importance of the Table I features")
+    );
     println!("bank: 27 per-type classifiers, {runs} runs/type, {trees} trees each\n");
 
     let devices = catalog();
@@ -47,8 +50,8 @@ fn main() {
     }
 
     // Fold onto the 23 Table I features.
-    let mut by_feature = vec![0.0f64; FEATURE_COUNT];
-    let mut by_position = vec![0.0f64; FIXED_PACKETS];
+    let mut by_feature = [0.0f64; FEATURE_COUNT];
+    let mut by_position = [0.0f64; FIXED_PACKETS];
     for (dim, &value) in mean.iter().enumerate() {
         by_feature[dim % FEATURE_COUNT] += value;
         by_position[dim / FEATURE_COUNT] += value;
@@ -66,11 +69,19 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", tables::render(&["Feature (Table I)", "Importance", ""], &rows));
+    print!(
+        "{}",
+        tables::render(&["Feature (Table I)", "Importance", ""], &rows)
+    );
 
     println!("\nimportance by packet position in F':");
     for (position, value) in by_position.iter().enumerate() {
-        println!("  p{:<2} {:.4} {}", position + 1, value, "#".repeat((value * 100.0).round() as usize));
+        println!(
+            "  p{:<2} {:.4} {}",
+            position + 1,
+            value,
+            "#".repeat((value * 100.0).round() as usize)
+        );
     }
     println!(
         "\nreading: size/port/destination-counter features dominate (they encode the\n\

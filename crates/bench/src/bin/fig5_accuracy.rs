@@ -37,7 +37,10 @@ fn main() {
         other => panic!("unknown --mode {other:?} (two-stage|rf-only|edit-only)"),
     };
 
-    print!("{}", tables::banner("Fig. 5 — Ratio of correct identification for 27 device-types"));
+    print!(
+        "{}",
+        tables::banner("Fig. 5 — Ratio of correct identification for 27 device-types")
+    );
     println!(
         "config: {} runs/type, {}-fold CV x {} repetitions, {} trees, 1:{} ratio, \
          F' = {} packets, {} refs, mode {:?}\n",
@@ -60,7 +63,10 @@ fn main() {
         .collect();
     print!("{}", tables::render(&["Device-type", "Accuracy"], &rows));
     println!();
-    println!("global ratio of correct identification: {}", tables::ratio(result.global_accuracy()));
+    println!(
+        "global ratio of correct identification: {}",
+        tables::ratio(result.global_accuracy())
+    );
     println!("paper reports:                           0.815");
     println!(
         "identifications needing discrimination:  {:.0}% (paper: 55%)",

@@ -15,7 +15,11 @@ use sentinel_bench::{enforcement, tables};
 
 fn main() {
     let args = Args::from_env();
-    let which = args.positional().first().map(String::as_str).unwrap_or("all");
+    let which = args
+        .positional()
+        .first()
+        .map(String::as_str)
+        .unwrap_or("all");
     let iterations: usize = args.get("iterations", 50);
     let seed: u64 = args.get("seed", 42);
 
@@ -35,7 +39,10 @@ fn main() {
 }
 
 fn latency(iterations: usize, seed: u64) {
-    print!("{}", tables::banner("Fig. 6a — D1-D2 latency vs concurrent flows"));
+    print!(
+        "{}",
+        tables::banner("Fig. 6a — D1-D2 latency vs concurrent flows")
+    );
     let points: Vec<usize> = (20..=150).step_by(10).collect();
     let rows: Vec<Vec<String>> = enforcement::latency_vs_flows(&points, iterations, seed)
         .iter()
@@ -55,7 +62,10 @@ fn latency(iterations: usize, seed: u64) {
 }
 
 fn cpu(iterations: usize, seed: u64) {
-    print!("{}", tables::banner("Fig. 6b — CPU utilization vs concurrent flows"));
+    print!(
+        "{}",
+        tables::banner("Fig. 6b — CPU utilization vs concurrent flows")
+    );
     let points: Vec<usize> = (0..=150).step_by(10).collect();
     let rows: Vec<Vec<String>> = enforcement::cpu_vs_flows(&points, iterations, seed)
         .iter()
@@ -75,7 +85,10 @@ fn cpu(iterations: usize, seed: u64) {
 }
 
 fn memory(seed: u64) {
-    print!("{}", tables::banner("Fig. 6c — Memory consumption vs enforcement rules"));
+    print!(
+        "{}",
+        tables::banner("Fig. 6c — Memory consumption vs enforcement rules")
+    );
     let points: Vec<usize> = (0..=20_000).step_by(2_000).collect();
     let rows: Vec<Vec<String>> = enforcement::memory_vs_rules(&points, seed)
         .iter()
@@ -91,7 +104,12 @@ fn memory(seed: u64) {
     print!(
         "{}",
         tables::render(
-            &["Rules", "w/ filtering (MB)", "w/o filtering (MB)", "in-process cache (MB)"],
+            &[
+                "Rules",
+                "w/ filtering (MB)",
+                "w/o filtering (MB)",
+                "in-process cache (MB)"
+            ],
             &rows,
         )
     );

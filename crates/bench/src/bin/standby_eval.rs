@@ -36,7 +36,10 @@ fn main() {
     config.trees = args.get("trees", config.trees);
     config.workers = args.get("workers", config.workers);
 
-    print!("{}", tables::banner("Extension (Sect. VIII-A) — identification from standby traffic"));
+    print!(
+        "{}",
+        tables::banner("Extension (Sect. VIII-A) — identification from standby traffic")
+    );
     println!(
         "{} standby captures/type, {} heartbeat cycles each; {}-fold CV x {} reps\n",
         runs, cycles, config.folds, config.repetitions

@@ -9,7 +9,10 @@ use sentinel_bench::tables;
 use sentinel_devicesim::catalog;
 
 fn main() {
-    print!("{}", tables::banner("Table II — IoT devices used in the evaluation"));
+    print!(
+        "{}",
+        tables::banner("Table II — IoT devices used in the evaluation")
+    );
     let mark = |b: bool| if b { "*" } else { "." }.to_string();
     let rows: Vec<Vec<String>> = catalog()
         .iter()
@@ -29,7 +32,15 @@ fn main() {
     print!(
         "{}",
         tables::render(
-            &["Identifier", "Device model", "WiFi", "ZigBee", "Eth", "Z-Wave", "Other"],
+            &[
+                "Identifier",
+                "Device model",
+                "WiFi",
+                "ZigBee",
+                "Eth",
+                "Z-Wave",
+                "Other"
+            ],
             &rows,
         )
     );

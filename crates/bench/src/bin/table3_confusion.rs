@@ -26,7 +26,10 @@ fn main() {
     config.seed = args.get("seed", config.seed);
     config.workers = args.get("workers", config.workers);
 
-    print!("{}", tables::banner("Table III — Confusion matrix for 10 devices with low identification rate"));
+    print!(
+        "{}",
+        tables::banner("Table III — Confusion matrix for 10 devices with low identification rate")
+    );
     println!(
         "counts are over {} runs/type x {} repetitions = {} identifications per row\n",
         config.runs,

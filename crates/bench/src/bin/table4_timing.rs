@@ -4,29 +4,67 @@
 //! ```text
 //! cargo run --release -p sentinel-bench --bin table4_timing
 //! cargo run --release -p sentinel-bench --bin table4_timing -- --iterations 500
+//! cargo run --release -p sentinel-bench --bin table4_timing -- --threads 1
+//! cargo run --release -p sentinel-bench --bin table4_timing -- --json results/bench_table4.json
 //! ```
 
 use sentinel_bench::cli::Args;
 use sentinel_bench::{tables, timing};
+use sentinel_sdn::stats::Summary;
+
+fn json_row(name: &str, s: &Summary) -> String {
+    format!(
+        "    \"{name}\": {{\"mean_ms\": {:.6}, \"stdev_ms\": {:.6}, \"n\": {}}}",
+        s.mean, s.stdev, s.n
+    )
+}
 
 fn main() {
     let args = Args::from_env();
     let train_runs: u64 = args.get("runs", 20);
     let iterations: u64 = args.get("iterations", 270);
     let seed: u64 = args.get("seed", 42);
+    let threads: usize = args.get("threads", 0);
 
-    print!("{}", tables::banner("Table IV — Time consumption for device-type identification"));
+    print!(
+        "{}",
+        tables::banner("Table IV — Time consumption for device-type identification")
+    );
     println!("training: 27 types x {train_runs} runs; measuring {iterations} identifications\n");
 
-    let report = timing::measure(train_runs, iterations, seed);
-    let fmt = |s: &sentinel_sdn::stats::Summary| format!("{:.3} ms (±{:.3})", s.mean, s.stdev);
+    let report = timing::measure(train_runs, iterations, seed, threads);
+    let fmt = |s: &Summary| format!("{:.3} ms (±{:.3})", s.mean, s.stdev);
     let rows = vec![
-        vec!["1 Classification (Random Forest)".to_string(), fmt(&report.one_classification), "0.014 ms".into()],
-        vec!["1 Discrimination (edit distance)".to_string(), fmt(&report.one_discrimination), "23.36 ms".into()],
-        vec!["Fingerprint extraction".to_string(), fmt(&report.fingerprint_extraction), "0.850 ms".into()],
-        vec!["27 Classifications (Random Forest)".to_string(), fmt(&report.all_classifications), "0.385 ms".into()],
-        vec!["Discrimination step (when triggered)".to_string(), fmt(&report.discrimination_step), "156.5 ms".into()],
-        vec!["Type identification".to_string(), fmt(&report.type_identification), "157.7 ms".into()],
+        vec![
+            "1 Classification (Random Forest)".to_string(),
+            fmt(&report.one_classification),
+            "0.014 ms".into(),
+        ],
+        vec![
+            "1 Discrimination (edit distance)".to_string(),
+            fmt(&report.one_discrimination),
+            "23.36 ms".into(),
+        ],
+        vec![
+            "Fingerprint extraction".to_string(),
+            fmt(&report.fingerprint_extraction),
+            "0.850 ms".into(),
+        ],
+        vec![
+            "27 Classifications (Random Forest)".to_string(),
+            fmt(&report.all_classifications),
+            "0.385 ms".into(),
+        ],
+        vec![
+            "Discrimination step (when triggered)".to_string(),
+            fmt(&report.discrimination_step),
+            "156.5 ms".into(),
+        ],
+        vec![
+            "Type identification".to_string(),
+            fmt(&report.type_identification),
+            "157.7 ms".into(),
+        ],
     ];
     print!("{}", tables::render(&["Step", "Measured", "Paper"], &rows));
     println!();
@@ -36,6 +74,27 @@ fn main() {
         report.discrimination_rate * 100.0,
         report.mean_edit_distances
     );
+
+    if let Some(path) = args.get_str("json") {
+        let body = [
+            json_row("one_classification", &report.one_classification),
+            json_row("one_discrimination", &report.one_discrimination),
+            json_row("fingerprint_extraction", &report.fingerprint_extraction),
+            json_row("all_classifications", &report.all_classifications),
+            json_row("discrimination_step", &report.discrimination_step),
+            json_row("type_identification", &report.type_identification),
+        ]
+        .join(",\n");
+        let json = format!(
+            "{{\n  \"bench\": \"table4_timing\",\n  \"train_runs\": {train_runs},\n  \
+             \"iterations\": {iterations},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
+             \"discrimination_rate\": {:.4},\n  \"mean_edit_distances\": {:.4},\n  \"steps\": {{\n{body}\n  }}\n}}\n",
+            report.discrimination_rate, report.mean_edit_distances
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        println!("\nBENCH JSON written to {path}");
+    }
+
     println!(
         "\nnote: absolute times differ by ~1000x (Rust vs the paper's Java/Weka stack, and\n\
          our simulated setup traces are shorter than real captures, which shrinks the\n\

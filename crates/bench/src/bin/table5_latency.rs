@@ -15,7 +15,10 @@ fn main() {
     let flows: usize = args.get("flows", 20);
     let seed: u64 = args.get("seed", 42);
 
-    print!("{}", tables::banner("Table V — Latency (ms) experienced by users"));
+    print!(
+        "{}",
+        tables::banner("Table V — Latency (ms) experienced by users")
+    );
     println!("{iterations} iterations per device pair, {flows} concurrent flows (paper: 15 iterations)\n");
 
     let rows_data = enforcement::latency_table(iterations, flows, seed);
@@ -34,7 +37,13 @@ fn main() {
     print!(
         "{}",
         tables::render(
-            &["Source", "Destination", "Filtering", "No filtering", "Overhead"],
+            &[
+                "Source",
+                "Destination",
+                "Filtering",
+                "No filtering",
+                "Overhead"
+            ],
             &rows,
         )
     );

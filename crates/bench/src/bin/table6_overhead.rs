@@ -13,17 +13,39 @@ fn main() {
     let iterations: usize = args.get("iterations", 100);
     let seed: u64 = args.get("seed", 42);
 
-    print!("{}", tables::banner("Table VI — Overhead due to filtering mechanism"));
+    print!(
+        "{}",
+        tables::banner("Table VI — Overhead due to filtering mechanism")
+    );
     println!("{iterations} samples per measurement\n");
 
     let report = enforcement::overhead(iterations, seed);
     let rows = vec![
-        vec!["D1D2 Latency".to_string(), format!("{:+.2}%", report.d1d2_latency), "+5.84%".into()],
-        vec!["D1D3 Latency".to_string(), format!("{:+.2}%", report.d1d3_latency), "+0.71%".into()],
-        vec!["CPU utilization".to_string(), format!("{:+.2}%", report.cpu), "+0.63%".into()],
-        vec!["Memory usage".to_string(), format!("{:+.2}%", report.memory), "+7.6%".into()],
+        vec![
+            "D1D2 Latency".to_string(),
+            format!("{:+.2}%", report.d1d2_latency),
+            "+5.84%".into(),
+        ],
+        vec![
+            "D1D3 Latency".to_string(),
+            format!("{:+.2}%", report.d1d3_latency),
+            "+0.71%".into(),
+        ],
+        vec![
+            "CPU utilization".to_string(),
+            format!("{:+.2}%", report.cpu),
+            "+0.63%".into(),
+        ],
+        vec![
+            "Memory usage".to_string(),
+            format!("{:+.2}%", report.memory),
+            "+7.6%".into(),
+        ],
     ];
-    print!("{}", tables::render(&["Case", "Measured overhead", "Paper"], &rows));
+    print!(
+        "{}",
+        tables::render(&["Case", "Measured overhead", "Paper"], &rows)
+    );
     println!();
     println!(
         "the reproduced property: every overhead is small — latency deltas are inside the\n\

@@ -76,11 +76,7 @@ pub struct LoadPoint {
 }
 
 /// Fig. 6a: device-to-device latency versus concurrent flows.
-pub fn latency_vs_flows(
-    flow_points: &[usize],
-    iterations: usize,
-    seed: u64,
-) -> Vec<LoadPoint> {
+pub fn latency_vs_flows(flow_points: &[usize], iterations: usize, seed: u64) -> Vec<LoadPoint> {
     let lab = Topology::lab();
     let mut emulator = GatewayEmulator::new(seed);
     let src = lab.host("D1").expect("lab host");

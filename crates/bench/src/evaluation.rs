@@ -4,13 +4,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crossbeam::thread;
-
 use sentinel_core::{FingerprintDataset, Identifier, IdentifierConfig, IdentifyMode};
 use sentinel_devicesim::catalog;
 use sentinel_ml::crossval::stratified_k_fold;
 use sentinel_ml::metrics::ConfusionMatrix;
-use sentinel_ml::ForestConfig;
+use sentinel_ml::{parallel, ForestConfig};
 
 /// Label used for the pseudo-class recording "rejected by every
 /// classifier" predictions.
@@ -38,7 +36,9 @@ pub struct EvalConfig {
     pub mode: IdentifyMode,
     /// Campaign seed.
     pub seed: u64,
-    /// Worker threads (1 = sequential).
+    /// Worker threads over (repetition, fold) work items (`0` = auto
+    /// via `SENTINEL_THREADS` / available parallelism, `1` =
+    /// sequential). The merged result is identical for every value.
     pub workers: usize,
 }
 
@@ -54,7 +54,7 @@ impl Default for EvalConfig {
             references: 5,
             mode: IdentifyMode::TwoStage,
             seed: 42,
-            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            workers: 0,
         }
     }
 }
@@ -72,14 +72,18 @@ impl EvalConfig {
         }
     }
 
-    fn identifier_config(&self, rep: usize) -> IdentifierConfig {
+    fn identifier_config(&self, rep: usize, nested_threads: usize) -> IdentifierConfig {
         let mut config = IdentifierConfig::default();
         config.bank.negative_ratio = self.negative_ratio;
-        config.bank.forest = ForestConfig::default().with_trees(self.trees);
+        config.bank.forest = ForestConfig::default()
+            .with_trees(self.trees)
+            .with_threads(nested_threads);
         config.bank.seed = self.seed ^ (rep as u64) << 32;
+        config.bank.threads = nested_threads;
         config.references_per_type = self.references;
         config.mode = self.mode;
         config.seed = self.seed.wrapping_add(rep as u64);
+        config.threads = nested_threads;
         config
     }
 }
@@ -142,8 +146,12 @@ impl EvalResult {
 /// evaluation.
 pub fn evaluate(config: &EvalConfig) -> EvalResult {
     let devices = catalog();
-    let dataset =
-        FingerprintDataset::collect_with_packets(&devices, config.runs, config.seed, config.packets);
+    let dataset = FingerprintDataset::collect_with_packets(
+        &devices,
+        config.runs,
+        config.seed,
+        config.packets,
+    );
     evaluate_on(&dataset, config)
 }
 
@@ -156,51 +164,44 @@ pub fn evaluate_on(dataset: &FingerprintDataset, config: &EvalConfig) -> EvalRes
     // Enumerate (repetition, fold) work items up front.
     let mut folds = Vec::new();
     for rep in 0..config.repetitions {
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9e37_79b9).wrapping_add(rep as u64));
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .seed
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(rep as u64),
+        );
         for fold in stratified_k_fold(dataset.labels(), config.folds, &mut rng) {
             folds.push((rep, fold));
         }
     }
 
-    let workers = config.workers.max(1).min(folds.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<(ConfusionMatrix, usize, usize, usize)> = thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let labels = &labels;
-                let folds = &folds;
-                let next = &next;
-                scope.spawn(move |_| {
-                    let mut confusion = ConfusionMatrix::new(labels.iter().cloned());
-                    let mut total = 0;
-                    let mut discriminated = 0;
-                    let mut candidate_sum = 0;
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        let Some((rep, fold)) = folds.get(i) else {
-                            break;
-                        };
-                        let train = dataset.subset(&fold.train);
-                        let identifier = Identifier::train(&train, &config.identifier_config(*rep));
-                        for &test_index in &fold.test {
-                            let id = identifier
-                                .identify(dataset.full(test_index), dataset.fixed(test_index));
-                            let predicted = id.label().unwrap_or(unknown);
-                            confusion.record(dataset.label(test_index), predicted);
-                            total += 1;
-                            if id.discriminated {
-                                discriminated += 1;
-                                candidate_sum += id.candidates.len();
-                            }
-                        }
-                    }
-                    (confusion, total, discriminated, candidate_sum)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
-    })
-    .expect("scope");
+    let workers = parallel::effective_threads(config.workers).min(folds.len().max(1));
+    // With fold-level workers saturating the machine, the nested
+    // training/identification sites run sequentially; a lone worker
+    // lets them use their own auto parallelism instead.
+    let nested_threads = if workers > 1 { 1 } else { 0 };
+    let results: Vec<(ConfusionMatrix, usize, usize, usize)> =
+        parallel::map_indexed(folds.len(), workers, |i| {
+            let (rep, fold) = &folds[i];
+            let mut confusion = ConfusionMatrix::new(labels.iter().cloned());
+            let mut total = 0;
+            let mut discriminated = 0;
+            let mut candidate_sum = 0;
+            let train = dataset.subset(&fold.train);
+            let identifier =
+                Identifier::train(&train, &config.identifier_config(*rep, nested_threads));
+            for &test_index in &fold.test {
+                let id = identifier.identify(dataset.full(test_index), dataset.fixed(test_index));
+                let predicted = id.label().unwrap_or(unknown);
+                confusion.record(dataset.label(test_index), predicted);
+                total += 1;
+                if id.discriminated {
+                    discriminated += 1;
+                    candidate_sum += id.candidates.len();
+                }
+            }
+            (confusion, total, discriminated, candidate_sum)
+        });
 
     let mut confusion = ConfusionMatrix::new(labels.iter().cloned());
     let mut total = 0;

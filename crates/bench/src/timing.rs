@@ -34,11 +34,20 @@ pub struct TimingReport {
 ///
 /// `iterations` controls how many held-out fingerprints are identified;
 /// the paper's statistics come from its full cross-validation, ours from
-/// a train/holdout split of fresh testbed campaigns.
-pub fn measure(train_runs: u64, iterations: u64, seed: u64) -> TimingReport {
+/// a train/holdout split of fresh testbed campaigns. `threads` is the
+/// worker count for training and stage-2 scoring (`0` = auto via
+/// `SENTINEL_THREADS`, `1` = sequential); the measured identifications
+/// themselves are timed one at a time either way.
+pub fn measure(train_runs: u64, iterations: u64, seed: u64, threads: usize) -> TimingReport {
     let devices = catalog();
     let dataset = FingerprintDataset::collect(&devices, train_runs, seed);
-    let identifier = Identifier::train(&dataset, &IdentifierConfig::default());
+    let mut config = IdentifierConfig {
+        threads,
+        ..IdentifierConfig::default()
+    };
+    config.bank.threads = threads;
+    config.bank.forest.threads = threads;
+    let identifier = Identifier::train(&dataset, &config);
     let holdout = Testbed::new(seed ^ 0xdead_beef);
 
     let mut one_classification = Vec::new();
@@ -70,15 +79,15 @@ pub fn measure(train_runs: u64, iterations: u64, seed: u64) -> TimingReport {
         let fixed = FixedFingerprint::from_fingerprint(&full);
         fingerprint_extraction.push(start.elapsed());
 
-        // Row: one classification (a single per-type forest).
-        let bank = identifier.bank();
+        // Row: one classification (a single per-type forest, via the
+        // identifier's packed arena — the path identification takes).
         let start = Instant::now();
-        let _ = bank.accepts(0, &fixed);
+        let _ = identifier.accepts(0, &fixed);
         one_classification.push(start.elapsed());
 
         // Row: all 27 classifications.
         let start = Instant::now();
-        let candidates = bank.matches(&fixed);
+        let candidates = identifier.classify(&fixed);
         all_classifications.push(start.elapsed());
 
         // Row: one edit-distance discrimination.
@@ -98,7 +107,10 @@ pub fn measure(train_runs: u64, iterations: u64, seed: u64) -> TimingReport {
             edit_distances += id.candidates.len() * 5;
             // The discrimination share is the identification minus the
             // classification stage measured above.
-            let classify = all_classifications.last().copied().unwrap_or(Duration::ZERO);
+            let classify = all_classifications
+                .last()
+                .copied()
+                .unwrap_or(Duration::ZERO);
             discrimination_step.push(elapsed.saturating_sub(classify));
         }
         let _ = candidates;
@@ -132,7 +144,7 @@ mod tests {
     fn ordering_matches_table_iv() {
         // Small but real measurement: classification must be far cheaper
         // than a full identification with discrimination.
-        let report = measure(6, 27, 3);
+        let report = measure(6, 27, 3, 1);
         assert!(report.one_classification.mean < report.all_classifications.mean * 1.5);
         assert!(report.fingerprint_extraction.mean >= 0.0);
         // Identification includes the classification stage; allow slack

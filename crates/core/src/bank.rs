@@ -5,6 +5,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use sentinel_fingerprint::FixedFingerprint;
+use sentinel_ml::parallel;
 use sentinel_ml::sampling::balanced_one_vs_rest;
 use sentinel_ml::{Dataset, ForestConfig, RandomForest};
 
@@ -21,6 +22,12 @@ pub struct BankConfig {
     pub forest: ForestConfig,
     /// Seed for negative sampling (forests derive their own sub-seeds).
     pub seed: u64,
+    /// Worker threads for training the per-type classifiers (`0` = auto
+    /// via `SENTINEL_THREADS` / available parallelism, `1` = the exact
+    /// sequential path). Each label already derives independent RNG
+    /// streams from the bank and forest seeds, so the trained bank is
+    /// bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for BankConfig {
@@ -29,6 +36,7 @@ impl Default for BankConfig {
             negative_ratio: 10,
             forest: ForestConfig::default(),
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -48,15 +56,25 @@ pub struct ClassifierBank {
 
 impl ClassifierBank {
     /// Trains one classifier per device-type present in `dataset`.
+    ///
+    /// Labels train concurrently (see [`BankConfig::threads`]); every
+    /// label's sampling and forest RNG streams are derived from the
+    /// seeds alone, so the result never depends on the thread count.
     pub fn train(dataset: &FingerprintDataset, config: &BankConfig) -> Self {
         let mut bank = ClassifierBank {
-            classifiers: Vec::with_capacity(dataset.n_types()),
+            classifiers: Vec::new(),
             type_names: dataset.type_names().to_vec(),
             config: config.clone(),
         };
-        for label in 0..dataset.n_types() {
-            bank.classifiers.push(bank.train_one(dataset, label));
-        }
+        let threads = parallel::effective_threads(config.threads).min(dataset.n_types().max(1));
+        // With the label fan-out already saturating the workers, each
+        // forest fits sequentially; a lone worker lets the forest use
+        // its own configured parallelism instead.
+        let forest_threads = if threads > 1 { Some(1) } else { None };
+        let classifiers = parallel::map_indexed(dataset.n_types(), threads, |label| {
+            bank.train_one(dataset, label, forest_threads)
+        });
+        bank.classifiers = classifiers;
         bank
     }
 
@@ -69,11 +87,16 @@ impl ClassifierBank {
     pub fn add_type(&mut self, name: impl Into<String>, dataset: &FingerprintDataset) -> usize {
         let label = self.classifiers.len();
         self.type_names.push(name.into());
-        self.classifiers.push(self.train_one(dataset, label));
+        self.classifiers.push(self.train_one(dataset, label, None));
         label
     }
 
-    fn train_one(&self, dataset: &FingerprintDataset, label: usize) -> RandomForest {
+    fn train_one(
+        &self,
+        dataset: &FingerprintDataset,
+        label: usize,
+        forest_threads: Option<usize>,
+    ) -> RandomForest {
         let positives = dataset.indices_of(label);
         let negatives: Vec<usize> = (0..dataset.len())
             .filter(|&i| dataset.label(i) != label)
@@ -83,7 +106,8 @@ impl ClassifierBank {
             "no fingerprints for type {label} ({})",
             self.type_names.get(label).map_or("?", |s| s)
         );
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (label as u64).wrapping_mul(0x9e37_79b9));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ (label as u64).wrapping_mul(0x9e37_79b9));
         let (indices, labels) =
             balanced_one_vs_rest(&positives, &negatives, self.config.negative_ratio, &mut rng);
         let n_features = dataset.fixed(0).dimensions();
@@ -91,11 +115,14 @@ impl ClassifierBank {
         for (&index, &class) in indices.iter().zip(&labels) {
             training.push(dataset.fixed(index).as_slice(), class);
         }
-        let forest_config = self
+        let mut forest_config = self
             .config
             .forest
             .clone()
             .with_seed(self.config.forest.seed ^ (label as u64).wrapping_mul(0x85eb_ca6b));
+        if let Some(threads) = forest_threads {
+            forest_config.threads = threads;
+        }
         RandomForest::fit(&training, &forest_config)
     }
 
@@ -107,6 +134,12 @@ impl ClassifierBank {
     /// Device-type names, indexed by label.
     pub fn type_names(&self) -> &[String] {
         &self.type_names
+    }
+
+    /// The trained classifier for type `label` (model inspection and
+    /// determinism tests).
+    pub fn classifier(&self, label: usize) -> &RandomForest {
+        &self.classifiers[label]
     }
 
     /// Labels of all device-types whose classifier accepts the
@@ -211,5 +244,35 @@ mod tests {
         let a = ClassifierBank::train(&data, &fast_config());
         let b = ClassifierBank::train(&data, &fast_config());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trained_bank_is_identical_for_every_thread_count() {
+        let data = dataset();
+        let sequential = ClassifierBank::train(
+            &data,
+            &BankConfig {
+                threads: 1,
+                ..fast_config()
+            },
+        );
+        for threads in [2, 8] {
+            let parallel = ClassifierBank::train(
+                &data,
+                &BankConfig {
+                    threads,
+                    ..fast_config()
+                },
+            );
+            // The configs differ in `threads` by construction; the
+            // trained classifiers must not.
+            for label in 0..sequential.n_types() {
+                assert_eq!(
+                    sequential.classifier(label),
+                    parallel.classifier(label),
+                    "label {label}, threads {threads}"
+                );
+            }
+        }
     }
 }

@@ -162,7 +162,10 @@ fn train(args: &[String], runs: u64, seed: u64) -> Result<(), Box<dyn std::error
     let identifier = Identifier::train(&dataset, &Default::default());
     let file = std::fs::File::create(out_path)?;
     identifier.to_json_writer(std::io::BufWriter::new(file))?;
-    println!("wrote trained model ({} device-types) to {out_path}", identifier.type_names().len());
+    println!(
+        "wrote trained model ({} device-types) to {out_path}",
+        identifier.type_names().len()
+    );
     Ok(())
 }
 

@@ -32,7 +32,10 @@ impl FingerprintDataset {
     pub fn collect_standby(devices: &[DeviceModel], runs: u64, cycles: u32, seed: u64) -> Self {
         let testbed = Testbed::new(seed);
         let mut dataset = FingerprintDataset {
-            type_names: devices.iter().map(|d| d.info.identifier.to_owned()).collect(),
+            type_names: devices
+                .iter()
+                .map(|d| d.info.identifier.to_owned())
+                .collect(),
             labels: Vec::new(),
             full: Vec::new(),
             fixed: Vec::new(),
@@ -61,7 +64,10 @@ impl FingerprintDataset {
     ) -> Self {
         let testbed = Testbed::new(seed);
         let mut dataset = FingerprintDataset {
-            type_names: devices.iter().map(|d| d.info.identifier.to_owned()).collect(),
+            type_names: devices
+                .iter()
+                .map(|d| d.info.identifier.to_owned())
+                .collect(),
             labels: Vec::new(),
             full: Vec::new(),
             fixed: Vec::new(),
@@ -141,7 +147,9 @@ impl FingerprintDataset {
 
     /// Indices of all fingerprints with the given label.
     pub fn indices_of(&self, label: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.labels[i] == label).collect()
+        (0..self.len())
+            .filter(|&i| self.labels[i] == label)
+            .collect()
     }
 
     /// A sub-dataset restricted to `indices` (labels and names kept).
@@ -223,8 +231,7 @@ mod tests {
         // …but lie close in edit distance compared to other types.
         let within = sentinel_fingerprint::editdist::normalized_distance(a, b);
         let other = dataset.indices_of(2)[0];
-        let across =
-            sentinel_fingerprint::editdist::normalized_distance(a, dataset.full(other));
+        let across = sentinel_fingerprint::editdist::normalized_distance(a, dataset.full(other));
         assert!(within < across, "within {within} vs across {across}");
     }
 

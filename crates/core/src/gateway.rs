@@ -13,8 +13,7 @@ use crate::report::OnboardingReport;
 use crate::SecurityService;
 
 /// Gateway tuning knobs.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GatewayConfig {
     /// Setup-phase end detection parameters.
     pub detector: SetupDetector,
@@ -22,7 +21,6 @@ pub struct GatewayConfig {
     /// infrastructure).
     pub ignored: Vec<MacAddr>,
 }
-
 
 #[derive(Debug)]
 struct MonitorState {

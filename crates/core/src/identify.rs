@@ -12,9 +12,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use sentinel_fingerprint::editdist::normalized_distance;
-use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
+use sentinel_fingerprint::editdist::{osa_distance, osa_distance_bounded};
+use sentinel_fingerprint::{Fingerprint, FixedFingerprint, InternedFingerprint, SymbolTable};
+use sentinel_ml::parallel;
 use sentinel_ml::sampling::sample_without_replacement;
+use sentinel_ml::PackedForest;
 
 use crate::report::{Identification, Outcome};
 use crate::{BankConfig, ClassifierBank, FingerprintDataset};
@@ -46,6 +48,19 @@ pub struct IdentifierConfig {
     pub mode: IdentifyMode,
     /// Seed for reference sampling.
     pub seed: u64,
+    /// Rejection cutoff on the winner's *mean* normalized dissimilarity:
+    /// if even the best-scoring candidate is farther than this from its
+    /// own references (per sampled reference, so the score cutoff is
+    /// `max_dissimilarity × references`), the device is reported as
+    /// unknown rather than force-matched. Same-type probes score well
+    /// below this; traffic that shares nothing with a type's references
+    /// scores 1.0 per reference.
+    pub max_dissimilarity: f64,
+    /// Worker threads for stage-2 candidate scoring (`0` = auto via
+    /// `SENTINEL_THREADS` / available parallelism, `1` = the exact
+    /// sequential path). Reference sampling and tie-breaking always run
+    /// sequentially, so the identified label is thread-count-invariant.
+    pub threads: usize,
 }
 
 impl Default for IdentifierConfig {
@@ -55,6 +70,8 @@ impl Default for IdentifierConfig {
             references_per_type: 5,
             mode: IdentifyMode::TwoStage,
             seed: 0,
+            max_dissimilarity: 0.9,
+            threads: 0,
         }
     }
 }
@@ -64,9 +81,25 @@ impl Default for IdentifierConfig {
 #[derive(Debug)]
 pub struct Identifier {
     bank: ClassifierBank,
+    /// Per-label packed prediction arenas over the bank's forests — the
+    /// stage-1 hot path (results identical to the bank's own forests).
+    packed: Vec<PackedForest>,
     /// All training fingerprints `F`, grouped by type label.
     references: Vec<Vec<Fingerprint>>,
+    /// Packet columns of every reference, interned to `u32` symbols.
+    symbols: SymbolTable,
+    /// Interned views of `references` (same shape), precomputed at
+    /// training time so the OSA inner loop compares integers.
+    interned: Vec<Vec<InternedFingerprint>>,
+    /// `0..references[label].len()` per label — the sampling pool handed
+    /// to [`sample_without_replacement`], prebuilt so discrimination does
+    /// not allocate it on every identification.
+    pools: Vec<Vec<usize>>,
     config: IdentifierConfig,
+    /// [`IdentifierConfig::threads`] resolved once at assembly —
+    /// `effective_threads` consults the environment and the scheduler,
+    /// which is far too slow for the per-identification hot path.
+    threads: usize,
     rng: Mutex<StdRng>,
 }
 
@@ -92,13 +125,7 @@ impl From<&Identifier> for TrainedModel {
 
 impl From<TrainedModel> for Identifier {
     fn from(model: TrainedModel) -> Self {
-        let rng = Mutex::new(StdRng::seed_from_u64(model.config.seed));
-        Identifier {
-            bank: model.bank,
-            references: model.references,
-            config: model.config,
-            rng,
-        }
+        Identifier::assemble(model.bank, model.references, model.config)
     }
 }
 
@@ -115,11 +142,41 @@ impl Identifier {
                     .collect()
             })
             .collect();
+        Identifier::assemble(bank, references, config.clone())
+    }
+
+    /// Builds the identifier from its parts, interning every reference
+    /// fingerprint so identification-time edit distances run over `u32`
+    /// symbols.
+    fn assemble(
+        bank: ClassifierBank,
+        references: Vec<Vec<Fingerprint>>,
+        config: IdentifierConfig,
+    ) -> Self {
+        let mut symbols = SymbolTable::new();
+        let interned = references
+            .iter()
+            .map(|of_type| of_type.iter().map(|fp| symbols.intern(fp)).collect())
+            .collect();
+        let packed = (0..bank.n_types())
+            .map(|label| PackedForest::from_forest(bank.classifier(label)))
+            .collect();
+        let pools = references
+            .iter()
+            .map(|of_type| (0..of_type.len()).collect())
+            .collect();
+        let rng = Mutex::new(StdRng::seed_from_u64(config.seed));
+        let threads = parallel::effective_threads(config.threads);
         Identifier {
             bank,
+            packed,
             references,
-            config: config.clone(),
-            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            symbols,
+            interned,
+            pools,
+            threads,
+            config,
+            rng,
         }
     }
 
@@ -166,8 +223,26 @@ impl Identifier {
         }
     }
 
+    /// Stage-1 classification: labels of every per-type classifier that
+    /// accepts the fingerprint, via the packed prediction arenas
+    /// (identical to [`ClassifierBank::matches`], faster).
+    pub fn classify(&self, fixed: &FixedFingerprint) -> Vec<usize> {
+        self.packed
+            .iter()
+            .enumerate()
+            .filter(|(_, forest)| forest.accepts(fixed.as_slice()))
+            .map(|(label, _)| label)
+            .collect()
+    }
+
+    /// Whether type `label`'s classifier accepts the fingerprint, via
+    /// the packed arena (identical to [`ClassifierBank::accepts`]).
+    pub fn accepts(&self, label: usize, fixed: &FixedFingerprint) -> bool {
+        self.packed[label].accepts(fixed.as_slice())
+    }
+
     fn identify_two_stage(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> Identification {
-        let candidates = self.bank.matches(fixed);
+        let candidates = self.classify(fixed);
         match candidates.len() {
             0 => Identification {
                 outcome: Outcome::Unknown,
@@ -175,15 +250,14 @@ impl Identifier {
                 discriminated: false,
                 scores: Vec::new(),
             },
-            1 => Identification {
-                outcome: Outcome::Identified {
-                    label: candidates[0],
-                    name: self.type_names()[candidates[0]].clone(),
-                },
-                candidates,
-                discriminated: false,
-                scores: Vec::new(),
-            },
+            // A single acceptance still gets its dissimilarity checked:
+            // a barely-over-threshold classifier can accept traffic that
+            // shares nothing with the type's references, and the score
+            // is what exposes that (see `max_dissimilarity`).
+            1 => {
+                let scores = self.dissimilarity_scores(full, &candidates);
+                self.pick_minimum(candidates, scores, false)
+            }
             _ => {
                 let scores = self.dissimilarity_scores(full, &candidates);
                 self.pick_minimum(candidates, scores, true)
@@ -192,7 +266,7 @@ impl Identifier {
     }
 
     fn identify_rf_only(&self, fixed: &FixedFingerprint) -> Identification {
-        let candidates = self.bank.matches(fixed);
+        let candidates = self.classify(fixed);
         if candidates.is_empty() {
             return Identification {
                 outcome: Outcome::Unknown,
@@ -225,20 +299,111 @@ impl Identifier {
     /// Sums normalized edit distances to `references_per_type` sampled
     /// reference fingerprints of each candidate type (the paper's
     /// `s_i ∈ [0, 5]`).
+    ///
+    /// Distances run over interned symbol sequences and carry a
+    /// best-so-far cutoff: once some candidate scored `B`, any other
+    /// candidate abandons its banded DP as soon as its score provably
+    /// exceeds `B + 1e-12` (the tie tolerance), recording a certified
+    /// lower bound instead of the exact score. The winning label is
+    /// unaffected — a pruned candidate can never reach the tie set —
+    /// and the winner's own score is always exact.
     fn dissimilarity_scores(&self, full: &Fingerprint, candidates: &[usize]) -> Vec<f64> {
-        let rng = &mut *self.rng.lock();
-        candidates
-            .iter()
-            .map(|&label| {
-                let pool: Vec<usize> = (0..self.references[label].len()).collect();
-                let chosen =
-                    sample_without_replacement(&pool, self.config.references_per_type, rng);
-                chosen
-                    .into_iter()
-                    .map(|i| normalized_distance(full, &self.references[label][i]))
-                    .sum()
-            })
-            .collect()
+        // Reference sampling stays sequential, in candidate order, so
+        // the RNG stream is identical for every thread count.
+        let chosen: Vec<Vec<usize>> = {
+            let rng = &mut *self.rng.lock();
+            candidates
+                .iter()
+                .map(|&label| {
+                    sample_without_replacement(
+                        &self.pools[label],
+                        self.config.references_per_type,
+                        rng,
+                    )
+                })
+                .collect()
+        };
+        let probe = self.symbols.project(full);
+        let threads = self.threads.min(candidates.len());
+        // Fan out only when the candidate set is large enough to repay a
+        // thread-spawn (a scoped fork/join costs tens of µs — more than
+        // discriminating a whole vendor family sequentially). Ordinary
+        // identifications over ≤ a few candidates always run inline;
+        // `fig6_scaling`-sized sweeps over hundreds of types fan out.
+        if threads <= 1 || candidates.len() < 16 {
+            // Sequential: the cutoff tightens after every candidate.
+            let mut best = f64::INFINITY;
+            let mut scores = Vec::with_capacity(candidates.len());
+            for (slot, &label) in candidates.iter().enumerate() {
+                let score = self.score_candidate(&probe, label, &chosen[slot], best);
+                best = best.min(score);
+                scores.push(score);
+            }
+            scores
+        } else {
+            // Parallel: the first candidate fixes the cutoff and the
+            // rest race against it independently. Pruned lower bounds
+            // can differ from the sequential path's (looser cutoff),
+            // but the tie set — exact scores within 1e-12 of the
+            // minimum — is provably the same, so the identified label
+            // and the RNG stream are too.
+            let first = self.score_candidate(&probe, candidates[0], &chosen[0], f64::INFINITY);
+            let mut scores = vec![first];
+            scores.extend(parallel::map_indexed(candidates.len() - 1, threads, |i| {
+                self.score_candidate(&probe, candidates[i + 1], &chosen[i + 1], first)
+            }));
+            scores
+        }
+    }
+
+    /// Scores one candidate type against its sampled references,
+    /// abandoning early once the score provably exceeds `best + 1e-12`.
+    ///
+    /// Returns the exact score, or a lower bound `lb` with
+    /// `best + 1e-12 < lb <= true score` when pruned.
+    fn score_candidate(
+        &self,
+        probe: &InternedFingerprint,
+        label: usize,
+        chosen: &[usize],
+        best: f64,
+    ) -> f64 {
+        let refs = &self.interned[label];
+        let mut sum = 0.0;
+        for &index in chosen {
+            let reference = &refs[index];
+            let longest = probe.len().max(reference.len());
+            if longest == 0 {
+                continue; // two empty fingerprints: distance 0
+            }
+            if !best.is_finite() {
+                sum += osa_distance(probe.symbols(), reference.symbols()) as f64 / longest as f64;
+                continue;
+            }
+            // Remaining normalized-distance budget before the score
+            // leaves the tie tolerance around `best`.
+            let budget = best + 1e-12 - sum;
+            let bound = if budget <= 0.0 {
+                0
+            } else {
+                (budget * longest as f64).floor() as usize
+            };
+            if bound >= longest {
+                // The cutoff cannot trigger (distance <= longest).
+                sum += osa_distance(probe.symbols(), reference.symbols()) as f64 / longest as f64;
+            } else {
+                match osa_distance_bounded(probe.symbols(), reference.symbols(), bound) {
+                    Some(distance) => sum += distance as f64 / longest as f64,
+                    None => {
+                        // distance >= bound + 1, so this partial sum is a
+                        // certified lower bound strictly above
+                        // `best + 1e-12`: the candidate cannot win or tie.
+                        return sum + (bound + 1) as f64 / longest as f64;
+                    }
+                }
+            }
+        }
+        sum
     }
 
     fn pick_minimum(
@@ -247,10 +412,7 @@ impl Identifier {
         scores: Vec<f64>,
         discriminated: bool,
     ) -> Identification {
-        let minimum = scores
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min);
+        let minimum = scores.iter().copied().fold(f64::INFINITY, f64::min);
         // Identical-firmware types can produce exactly tied dissimilarity
         // scores; break ties uniformly so neither twin is systematically
         // preferred.
@@ -267,6 +429,23 @@ impl Identifier {
             let rng = &mut *self.rng.lock();
             tied[rng.gen_range(0..tied.len())]
         };
+        // Even the best candidate must actually resemble its own
+        // references: a winner whose mean normalized distance exceeds
+        // the cutoff is traffic the classifiers should not have
+        // accepted, and is reported as unknown (the winner is never
+        // pruned, so `minimum` is its exact score).
+        let effective_refs = self
+            .config
+            .references_per_type
+            .min(self.references[best].len());
+        if minimum > self.config.max_dissimilarity * effective_refs as f64 {
+            return Identification {
+                outcome: Outcome::Unknown,
+                candidates,
+                discriminated,
+                scores,
+            };
+        }
         Identification {
             outcome: Outcome::Identified {
                 label: best,
@@ -343,9 +522,17 @@ mod tests {
         // broadcast chatter, no DHCP/DNS/cloud traffic at all.
         let mut odd = DeviceProfile::new("OddBall", [9, 9, 9]);
         odd.extend_phases([
-            Phase::UdpRaw { dest: RawDest::Broadcast, port: 7777, sizes: vec![700, 11, 700, 11] },
+            Phase::UdpRaw {
+                dest: RawDest::Broadcast,
+                port: 7777,
+                sizes: vec![700, 11, 700, 11],
+            },
             Phase::Ping { count: 3 },
-            Phase::UdpRaw { dest: RawDest::Gateway, port: 7778, sizes: vec![900] },
+            Phase::UdpRaw {
+                dest: RawDest::Gateway,
+                port: 7778,
+                sizes: vec![900],
+            },
         ]);
         let trace = Testbed::new(1).setup_run(&odd, 0);
         let full = extract(&trace.packets);

@@ -51,10 +51,10 @@ pub use bank::{BankConfig, ClassifierBank};
 pub use dataset::FingerprintDataset;
 pub use gateway::{GatewayConfig, SecurityGateway};
 pub use identify::{Identifier, IdentifierConfig, IdentifyMode, TrainedModel};
-pub use report::{Identification, OnboardingReport, Outcome, ServiceResponse};
 pub use migration::{
     migrate, LegacyDevice, MigrationOutcome, MigrationRecord, PskPolicy, RekeySupport,
 };
+pub use report::{Identification, OnboardingReport, Outcome, ServiceResponse};
 pub use service::{IoTSecurityService, SecurityService, ServiceConfig};
 
 /// Commonly used types, re-exported for examples and downstream users.

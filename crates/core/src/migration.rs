@@ -172,8 +172,11 @@ fn observed_remote_endpoints(packets: &[Packet]) -> Vec<std::net::IpAddr> {
     let mut seen = Vec::new();
     for packet in packets {
         if let Some(std::net::IpAddr::V4(ip)) = packet.dst_ip() {
-            let private = ip.is_private() || ip.is_broadcast() || ip.is_multicast()
-                || ip.is_link_local() || ip.is_unspecified();
+            let private = ip.is_private()
+                || ip.is_broadcast()
+                || ip.is_multicast()
+                || ip.is_link_local()
+                || ip.is_unspecified();
             let addr = std::net::IpAddr::V4(ip);
             if !private && !seen.contains(&addr) {
                 seen.push(addr);
@@ -230,7 +233,9 @@ mod tests {
         let mut module = EnforcementModule::new();
         let device = legacy_device(RekeySupport::Wps);
         let records = migrate(
-            &Scripted { isolation: IsolationLevel::Trusted },
+            &Scripted {
+                isolation: IsolationLevel::Trusted,
+            },
             PskPolicy::Retain,
             std::slice::from_ref(&device),
             &mut module,
@@ -244,7 +249,9 @@ mod tests {
         let mut module = EnforcementModule::new();
         let device = legacy_device(RekeySupport::None);
         let records = migrate(
-            &Scripted { isolation: IsolationLevel::Trusted },
+            &Scripted {
+                isolation: IsolationLevel::Trusted,
+            },
             PskPolicy::Retain,
             std::slice::from_ref(&device),
             &mut module,
@@ -270,12 +277,17 @@ mod tests {
         let mut module = EnforcementModule::new();
         let device = legacy_device(RekeySupport::None);
         let records = migrate(
-            &Scripted { isolation: IsolationLevel::Trusted },
+            &Scripted {
+                isolation: IsolationLevel::Trusted,
+            },
             PskPolicy::Deprecate,
             std::slice::from_ref(&device),
             &mut module,
         );
-        assert_eq!(records[0].outcome, MigrationOutcome::RequiresManualReintroduction);
+        assert_eq!(
+            records[0].outcome,
+            MigrationOutcome::RequiresManualReintroduction
+        );
         assert!(records[0].isolation.is_none());
         assert!(module.cache().get(device.mac).is_none());
     }
@@ -285,7 +297,9 @@ mod tests {
         let mut module = EnforcementModule::new();
         let device = legacy_device(RekeySupport::Wps);
         let records = migrate(
-            &Scripted { isolation: IsolationLevel::Restricted },
+            &Scripted {
+                isolation: IsolationLevel::Restricted,
+            },
             PskPolicy::Retain,
             std::slice::from_ref(&device),
             &mut module,
@@ -302,7 +316,9 @@ mod tests {
         let mut module = EnforcementModule::new();
         let device = legacy_device(RekeySupport::Wps);
         let records = migrate(
-            &Scripted { isolation: IsolationLevel::Strict },
+            &Scripted {
+                isolation: IsolationLevel::Strict,
+            },
             PskPolicy::Retain,
             &[device],
             &mut module,

@@ -95,10 +95,7 @@ impl fmt::Display for OnboardingReport {
         write!(
             f,
             "device {} ({} setup packets): {}, isolation {}",
-            self.mac,
-            self.setup_packets,
-            self.response.identification,
-            self.response.isolation
+            self.mac, self.setup_packets, self.response.identification, self.response.isolation
         )?;
         if !self.response.permitted_endpoints.is_empty() {
             write!(f, ", permitted {:?}", self.response.permitted_endpoints)?;

@@ -150,7 +150,11 @@ mod tests {
         // An out-of-distribution device no classifier should accept.
         let mut odd = DeviceProfile::new("OddBall", [9, 9, 9]);
         odd.extend_phases([
-            Phase::UdpRaw { dest: RawDest::Broadcast, port: 7777, sizes: vec![700, 11, 700] },
+            Phase::UdpRaw {
+                dest: RawDest::Broadcast,
+                port: 7777,
+                sizes: vec![700, 11, 700],
+            },
             Phase::Ping { count: 3 },
         ]);
         let trace = Testbed::new(2).setup_run(&odd, 0);

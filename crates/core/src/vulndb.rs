@@ -172,7 +172,10 @@ impl StaticVulnDb {
 
     /// Adds a vulnerability record for a device-type.
     pub fn add_record(&mut self, device_type: impl Into<String>, record: CveRecord) {
-        self.records.entry(device_type.into()).or_default().push(record);
+        self.records
+            .entry(device_type.into())
+            .or_default()
+            .push(record);
     }
 
     /// Registers a vendor-cloud endpoint for a device-type.

@@ -95,15 +95,65 @@ pub fn catalog() -> Vec<DeviceModel> {
         dlink_door_sensor(),
         dlink_day_cam(),
         dlink_cam(),
-        dlink_family("D-LinkSwitch", "D-Link Smart plug DSP-W215", "DSP-W215", true, 0.30, 0),
-        dlink_family("D-LinkWaterSensor", "D-Link Water sensor DCH-S160", "DCH-S160", false, 0.80, 3),
-        dlink_family("D-LinkSiren", "D-Link Siren DCH-S220", "DCH-S220", false, 0.45, 6),
-        dlink_family("D-LinkSensor", "D-Link WiFi Motion sensor DCH-S150", "DCH-S150", false, 0.10, 9),
-        tplink_plug("TP-LinkPlugHS110", "TP-Link WiFi Smart plug HS110", "HS110(EU)", 4),
-        tplink_plug("TP-LinkPlugHS100", "TP-Link WiFi Smart plug HS100", "HS100(EU)", 0),
-        edimax_plug("EdimaxPlug1101W", "Edimax SP-1101W Smart Plug Switch", "SP1101W"),
-        edimax_plug("EdimaxPlug2101W", "Edimax SP-2101W Smart Plug Switch", "SP2101W"),
-        smarter_appliance("SmarterCoffee", "Smarter SmarterCoffee coffee machine SMC10-EU", 0),
+        dlink_family(
+            "D-LinkSwitch",
+            "D-Link Smart plug DSP-W215",
+            "DSP-W215",
+            true,
+            0.30,
+            0,
+        ),
+        dlink_family(
+            "D-LinkWaterSensor",
+            "D-Link Water sensor DCH-S160",
+            "DCH-S160",
+            false,
+            0.80,
+            3,
+        ),
+        dlink_family(
+            "D-LinkSiren",
+            "D-Link Siren DCH-S220",
+            "DCH-S220",
+            false,
+            0.45,
+            6,
+        ),
+        dlink_family(
+            "D-LinkSensor",
+            "D-Link WiFi Motion sensor DCH-S150",
+            "DCH-S150",
+            false,
+            0.10,
+            9,
+        ),
+        tplink_plug(
+            "TP-LinkPlugHS110",
+            "TP-Link WiFi Smart plug HS110",
+            "HS110(EU)",
+            4,
+        ),
+        tplink_plug(
+            "TP-LinkPlugHS100",
+            "TP-Link WiFi Smart plug HS100",
+            "HS100(EU)",
+            0,
+        ),
+        edimax_plug(
+            "EdimaxPlug1101W",
+            "Edimax SP-1101W Smart Plug Switch",
+            "SP1101W",
+        ),
+        edimax_plug(
+            "EdimaxPlug2101W",
+            "Edimax SP-2101W Smart Plug Switch",
+            "SP2101W",
+        ),
+        smarter_appliance(
+            "SmarterCoffee",
+            "Smarter SmarterCoffee coffee machine SMC10-EU",
+            0,
+        ),
         smarter_appliance("iKettle2", "Smarter iKettle 2.0 water kettle SMK20-EU", 3),
     ]
 }
@@ -114,7 +164,12 @@ pub fn catalog() -> Vec<DeviceModel> {
 /// Table III).
 pub fn confusable_groups() -> Vec<Vec<&'static str>> {
     vec![
-        vec!["D-LinkSwitch", "D-LinkWaterSensor", "D-LinkSiren", "D-LinkSensor"],
+        vec![
+            "D-LinkSwitch",
+            "D-LinkWaterSensor",
+            "D-LinkSiren",
+            "D-LinkSensor",
+        ],
         vec!["TP-LinkPlugHS110", "TP-LinkPlugHS100"],
         vec!["EdimaxPlug1101W", "EdimaxPlug2101W"],
         vec!["SmarterCoffee", "iKettle2"],
@@ -145,16 +200,27 @@ fn model(
 /// during standby and operation cycles are likely to be characteristic
 /// for particular device-types".
 fn derive_standby(profile: &mut DeviceProfile) {
-    let mut standby = vec![Phase::ArpProbe { count: 1, announce: true }];
+    let mut standby = vec![Phase::ArpProbe {
+        count: 1,
+        announce: true,
+    }];
     for phase in &profile.phases {
         if standby.len() >= 5 {
             break;
         }
         match phase {
             Phase::Ntp { endpoint, .. } => {
-                standby.push(Phase::Ntp { endpoint: *endpoint, count: 1 });
+                standby.push(Phase::Ntp {
+                    endpoint: *endpoint,
+                    count: 1,
+                });
             }
-            Phase::Tls { endpoint, port, hello_size, .. } => {
+            Phase::Tls {
+                endpoint,
+                port,
+                hello_size,
+                ..
+            } => {
                 // Periodic cloud check-in: reconnect + one status record.
                 standby.push(Phase::Tls {
                     endpoint: *endpoint,
@@ -164,13 +230,21 @@ fn derive_standby(profile: &mut DeviceProfile) {
                 });
             }
             Phase::HttpGet { endpoint, path } => {
-                standby.push(Phase::HttpGet { endpoint: *endpoint, path: path.clone() });
+                standby.push(Phase::HttpGet {
+                    endpoint: *endpoint,
+                    path: path.clone(),
+                });
             }
             Phase::MdnsAnnounce { services } => {
-                standby.push(Phase::MdnsAnnounce { services: services.clone() });
+                standby.push(Phase::MdnsAnnounce {
+                    services: services.clone(),
+                });
             }
             Phase::SsdpNotify { device_type, .. } => {
-                standby.push(Phase::SsdpNotify { device_type: device_type.clone(), count: 1 });
+                standby.push(Phase::SsdpNotify {
+                    device_type: device_type.clone(),
+                    count: 1,
+                });
             }
             Phase::UdpRaw { dest, port, sizes } => {
                 standby.push(Phase::UdpRaw {
@@ -192,11 +266,33 @@ fn aria() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("Aria"),
-        Phase::ArpProbe { count: 2, announce: true },
-        Phase::Dns { endpoint: cloud, aaaa: false },
-        Phase::Ntp { endpoint: ntp, count: 1 },
-        Phase::Tls { endpoint: cloud, port: 443, hello_size: 198, records: vec![415, 167] },
-        Phase::optional(0.3, Phase::Tls { endpoint: cloud, port: 443, hello_size: 198, records: vec![415] }),
+        Phase::ArpProbe {
+            count: 2,
+            announce: true,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: false,
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
+        Phase::Tls {
+            endpoint: cloud,
+            port: 443,
+            hello_size: 198,
+            records: vec![415, 167],
+        },
+        Phase::optional(
+            0.3,
+            Phase::Tls {
+                endpoint: cloud,
+                port: 443,
+                hello_size: 198,
+                records: vec![415],
+            },
+        ),
     ]);
     model(
         "Aria",
@@ -215,10 +311,27 @@ fn homematic_plug() -> DeviceModel {
             vendor_class: None,
             param_list: vec![1, 3, 6],
         },
-        Phase::ArpProbe { count: 1, announce: false },
-        Phase::Dns { endpoint: ccu, aaaa: false },
-        Phase::UdpRaw { dest: RawDest::Endpoint(ccu), port: 43439, sizes: vec![45, 45, 77] },
-        Phase::optional(0.4, Phase::UdpRaw { dest: RawDest::Endpoint(ccu), port: 43439, sizes: vec![45] }),
+        Phase::ArpProbe {
+            count: 1,
+            announce: false,
+        },
+        Phase::Dns {
+            endpoint: ccu,
+            aaaa: false,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Endpoint(ccu),
+            port: 43439,
+            sizes: vec![45, 45, 77],
+        },
+        Phase::optional(
+            0.4,
+            Phase::UdpRaw {
+                dest: RawDest::Endpoint(ccu),
+                port: 43439,
+                sizes: vec![45],
+            },
+        ),
     ]);
     model(
         "HomeMaticPlug",
@@ -235,11 +348,27 @@ fn withings() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("WS30"),
-        Phase::ArpProbe { count: 3, announce: true },
-        Phase::Dns { endpoint: cloud, aaaa: true },
-        Phase::HttpGet { endpoint: cloud, path: "/cgi-bin/session".into() },
-        Phase::HttpPost { endpoint: cloud, path: "/cgi-bin/measure".into(), body_size: 240 },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 3,
+            announce: true,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: true,
+        },
+        Phase::HttpGet {
+            endpoint: cloud,
+            path: "/cgi-bin/session".into(),
+        },
+        Phase::HttpPost {
+            endpoint: cloud,
+            path: "/cgi-bin/measure".into(),
+            body_size: 240,
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
     ]);
     model(
         "Withings",
@@ -260,11 +389,27 @@ fn max_gateway() -> DeviceModel {
             vendor_class: Some("eQ-3 MAX!".into()),
             param_list: vec![1, 3, 6, 15],
         },
-        Phase::ArpProbe { count: 1, announce: true },
-        Phase::Ipv6Bringup { mld_records: 1, router_solicit: false },
-        Phase::Dns { endpoint: cloud, aaaa: false },
-        Phase::TcpRaw { dest: RawDest::Endpoint(cloud), port: 62910, sizes: vec![26, 180, 64] },
-        Phase::Ntp { endpoint: ntp, count: 2 },
+        Phase::ArpProbe {
+            count: 1,
+            announce: true,
+        },
+        Phase::Ipv6Bringup {
+            mld_records: 1,
+            router_solicit: false,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: false,
+        },
+        Phase::TcpRaw {
+            dest: RawDest::Endpoint(cloud),
+            port: 62910,
+            sizes: vec![26, 180, 64],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 2,
+        },
     ]);
     model(
         "MAXGateway",
@@ -282,14 +427,39 @@ fn hue_bridge() -> DeviceModel {
     p.extend_phases([
         Phase::Stp { count: 1 },
         Phase::dhcp("Philips-hue"),
-        Phase::ArpProbe { count: 2, announce: true },
-        Phase::Ipv6Bringup { mld_records: 2, router_solicit: true },
-        Phase::Dns { endpoint: portal, aaaa: false },
-        Phase::Dns { endpoint: cdn, aaaa: false },
-        Phase::Ntp { endpoint: ntp, count: 1 },
-        Phase::Tls { endpoint: portal, port: 443, hello_size: 215, records: vec![600, 300, 150] },
-        Phase::SsdpNotify { device_type: "urn:schemas-upnp-org:device:Basic:1".into(), count: 3 },
-        Phase::MdnsAnnounce { services: vec!["_hue._tcp.local".into()] },
+        Phase::ArpProbe {
+            count: 2,
+            announce: true,
+        },
+        Phase::Ipv6Bringup {
+            mld_records: 2,
+            router_solicit: true,
+        },
+        Phase::Dns {
+            endpoint: portal,
+            aaaa: false,
+        },
+        Phase::Dns {
+            endpoint: cdn,
+            aaaa: false,
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
+        Phase::Tls {
+            endpoint: portal,
+            port: 443,
+            hello_size: 215,
+            records: vec![600, 300, 150],
+        },
+        Phase::SsdpNotify {
+            device_type: "urn:schemas-upnp-org:device:Basic:1".into(),
+            count: 3,
+        },
+        Phase::MdnsAnnounce {
+            services: vec!["_hue._tcp.local".into()],
+        },
     ]);
     model(
         "HueBridge",
@@ -302,10 +472,26 @@ fn hue_bridge() -> DeviceModel {
 fn hue_switch() -> DeviceModel {
     let mut p = DeviceProfile::new("HueSwitch", OUI_PHILIPS);
     p.extend_phases([
-        Phase::ArpProbe { count: 1, announce: false },
-        Phase::UdpRaw { dest: RawDest::Gateway, port: 5607, sizes: vec![20, 20] },
-        Phase::MdnsQuery { service: "_hue._tcp.local".into() },
-        Phase::optional(0.5, Phase::UdpRaw { dest: RawDest::Gateway, port: 5607, sizes: vec![20] }),
+        Phase::ArpProbe {
+            count: 1,
+            announce: false,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Gateway,
+            port: 5607,
+            sizes: vec![20, 20],
+        },
+        Phase::MdnsQuery {
+            service: "_hue._tcp.local".into(),
+        },
+        Phase::optional(
+            0.5,
+            Phase::UdpRaw {
+                dest: RawDest::Gateway,
+                port: 5607,
+                sizes: vec![20],
+            },
+        ),
     ]);
     model(
         "HueSwitch",
@@ -320,11 +506,28 @@ fn ednet_gateway() -> DeviceModel {
     let cloud = p.endpoint("cloud.ednet-living.com");
     p.extend_phases([
         Phase::Eapol,
-        Phase::Dhcp { hostname: None, vendor_class: None, param_list: vec![1, 3, 6, 15, 28, 42] },
-        Phase::ArpProbe { count: 1, announce: false },
-        Phase::SsdpSearch { target: "upnp:rootdevice".into(), count: 3 },
-        Phase::Dns { endpoint: cloud, aaaa: false },
-        Phase::UdpRaw { dest: RawDest::Endpoint(cloud), port: 10240, sizes: vec![32, 64] },
+        Phase::Dhcp {
+            hostname: None,
+            vendor_class: None,
+            param_list: vec![1, 3, 6, 15, 28, 42],
+        },
+        Phase::ArpProbe {
+            count: 1,
+            announce: false,
+        },
+        Phase::SsdpSearch {
+            target: "upnp:rootdevice".into(),
+            count: 3,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: false,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Endpoint(cloud),
+            port: 10240,
+            sizes: vec![32, 64],
+        },
     ]);
     model(
         "EdnetGateway",
@@ -341,11 +544,27 @@ fn ednet_cam() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("ednet-cam"),
-        Phase::ArpProbe { count: 2, announce: false },
-        Phase::Dns { endpoint: cloud, aaaa: false },
-        Phase::HttpGet { endpoint: cloud, path: "/check_user.cgi".into() },
-        Phase::TcpRaw { dest: RawDest::Endpoint(cloud), port: 554, sizes: vec![460] },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 2,
+            announce: false,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: false,
+        },
+        Phase::HttpGet {
+            endpoint: cloud,
+            path: "/check_user.cgi".into(),
+        },
+        Phase::TcpRaw {
+            dest: RawDest::Endpoint(cloud),
+            port: 554,
+            sizes: vec![460],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
     ]);
     model(
         "EdnetCam",
@@ -362,11 +581,27 @@ fn edimax_cam() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("EDIMAX-IC3115"),
-        Phase::ArpProbe { count: 2, announce: true },
-        Phase::Dns { endpoint: portal, aaaa: false },
-        Phase::HttpGet { endpoint: portal, path: "/camera-cgi/public/getSystemInfo.cgi".into() },
-        Phase::SsdpNotify { device_type: "urn:schemas-upnp-org:device:MediaServer:1".into(), count: 2 },
-        Phase::UdpRaw { dest: RawDest::Endpoint(relay), port: 8765, sizes: vec![120] },
+        Phase::ArpProbe {
+            count: 2,
+            announce: true,
+        },
+        Phase::Dns {
+            endpoint: portal,
+            aaaa: false,
+        },
+        Phase::HttpGet {
+            endpoint: portal,
+            path: "/camera-cgi/public/getSystemInfo.cgi".into(),
+        },
+        Phase::SsdpNotify {
+            device_type: "urn:schemas-upnp-org:device:MediaServer:1".into(),
+            count: 2,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Endpoint(relay),
+            port: 8765,
+            sizes: vec![120],
+        },
     ]);
     model(
         "EdimaxCam",
@@ -383,10 +618,24 @@ fn lightify() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("Lightify-Gateway"),
-        Phase::ArpProbe { count: 1, announce: true },
-        Phase::Dns { endpoint: cloud, aaaa: false },
-        Phase::Tls { endpoint: cloud, port: 4000, hello_size: 160, records: vec![96, 96, 240] },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 1,
+            announce: true,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: false,
+        },
+        Phase::Tls {
+            endpoint: cloud,
+            port: 4000,
+            hello_size: 160,
+            records: vec![96, 96, 240],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
         Phase::Ping { count: 2 },
     ]);
     model(
@@ -404,12 +653,31 @@ fn wemo_insight_switch() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("WeMo.Insight"),
-        Phase::ArpProbe { count: 1, announce: true },
-        Phase::SsdpNotify { device_type: "urn:Belkin:device:insight:1".into(), count: 4 },
-        Phase::MdnsAnnounce { services: vec!["_upnp._tcp.local".into()] },
-        Phase::Dns { endpoint: cloud, aaaa: true },
-        Phase::Tls { endpoint: cloud, port: 8443, hello_size: 230, records: vec![512] },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 1,
+            announce: true,
+        },
+        Phase::SsdpNotify {
+            device_type: "urn:Belkin:device:insight:1".into(),
+            count: 4,
+        },
+        Phase::MdnsAnnounce {
+            services: vec!["_upnp._tcp.local".into()],
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: true,
+        },
+        Phase::Tls {
+            endpoint: cloud,
+            port: 8443,
+            hello_size: 230,
+            records: vec![512],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
     ]);
     model(
         "WeMoInsightSwitch",
@@ -426,12 +694,33 @@ fn wemo_link() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("WeMo.Link"),
-        Phase::ArpProbe { count: 1, announce: true },
-        Phase::SsdpNotify { device_type: "urn:Belkin:device:bridge:1".into(), count: 3 },
-        Phase::Dns { endpoint: cloud, aaaa: true },
-        Phase::Tls { endpoint: cloud, port: 8443, hello_size: 230, records: vec![512, 256] },
-        Phase::UdpRaw { dest: RawDest::Broadcast, port: 3475, sizes: vec![40, 40] },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 1,
+            announce: true,
+        },
+        Phase::SsdpNotify {
+            device_type: "urn:Belkin:device:bridge:1".into(),
+            count: 3,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: true,
+        },
+        Phase::Tls {
+            endpoint: cloud,
+            port: 8443,
+            hello_size: 230,
+            records: vec![512, 256],
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Broadcast,
+            port: 3475,
+            sizes: vec![40, 40],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
     ]);
     model(
         "WeMoLink",
@@ -448,11 +737,26 @@ fn wemo_switch() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("WeMo.Switch"),
-        Phase::ArpProbe { count: 1, announce: true },
-        Phase::SsdpNotify { device_type: "urn:Belkin:device:controllee:1".into(), count: 4 },
-        Phase::Dns { endpoint: cloud, aaaa: false },
-        Phase::HttpGet { endpoint: cloud, path: "/setup.xml".into() },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 1,
+            announce: true,
+        },
+        Phase::SsdpNotify {
+            device_type: "urn:Belkin:device:controllee:1".into(),
+            count: 4,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: false,
+        },
+        Phase::HttpGet {
+            endpoint: cloud,
+            path: "/setup.xml".into(),
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
     ]);
     model(
         "WeMoSwitch",
@@ -469,16 +773,39 @@ fn dlink_home_hub() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("DCH-G020"),
-        Phase::ArpProbe { count: 2, announce: true },
-        Phase::Ipv6Bringup { mld_records: 2, router_solicit: true },
-        Phase::Dns { endpoint: dcd, aaaa: true },
-        Phase::Dns { endpoint: time, aaaa: false },
-        Phase::Ntp { endpoint: time, count: 2 },
-        Phase::Tls { endpoint: dcd, port: 443, hello_size: 208, records: vec![350, 350, 120] },
+        Phase::ArpProbe {
+            count: 2,
+            announce: true,
+        },
+        Phase::Ipv6Bringup {
+            mld_records: 2,
+            router_solicit: true,
+        },
+        Phase::Dns {
+            endpoint: dcd,
+            aaaa: true,
+        },
+        Phase::Dns {
+            endpoint: time,
+            aaaa: false,
+        },
+        Phase::Ntp {
+            endpoint: time,
+            count: 2,
+        },
+        Phase::Tls {
+            endpoint: dcd,
+            port: 443,
+            hello_size: 208,
+            records: vec![350, 350, 120],
+        },
         Phase::MdnsAnnounce {
             services: vec!["_dcp._tcp.local".into(), "_http._tcp.local".into()],
         },
-        Phase::SsdpNotify { device_type: "urn:schemas-upnp-org:device:Basic:1".into(), count: 2 },
+        Phase::SsdpNotify {
+            device_type: "urn:schemas-upnp-org:device:Basic:1".into(),
+            count: 2,
+        },
     ]);
     model(
         "D-LinkHomeHub",
@@ -491,9 +818,18 @@ fn dlink_home_hub() -> DeviceModel {
 fn dlink_door_sensor() -> DeviceModel {
     let mut p = DeviceProfile::new("D-LinkDoorSensor", OUI_DLINK);
     p.extend_phases([
-        Phase::ArpProbe { count: 1, announce: false },
-        Phase::UdpRaw { dest: RawDest::Gateway, port: 9123, sizes: vec![28, 28, 52] },
-        Phase::MdnsQuery { service: "_dcp._tcp.local".into() },
+        Phase::ArpProbe {
+            count: 1,
+            announce: false,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Gateway,
+            port: 9123,
+            sizes: vec![28, 28, 52],
+        },
+        Phase::MdnsQuery {
+            service: "_dcp._tcp.local".into(),
+        },
     ]);
     model(
         "D-LinkDoorSensor",
@@ -510,11 +846,27 @@ fn dlink_day_cam() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("DCS-930L"),
-        Phase::ArpProbe { count: 2, announce: false },
-        Phase::Dns { endpoint: signal, aaaa: false },
-        Phase::HttpGet { endpoint: signal, path: "/common/info.cgi".into() },
-        Phase::TcpRaw { dest: RawDest::Endpoint(signal), port: 554, sizes: vec![380, 380] },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 2,
+            announce: false,
+        },
+        Phase::Dns {
+            endpoint: signal,
+            aaaa: false,
+        },
+        Phase::HttpGet {
+            endpoint: signal,
+            path: "/common/info.cgi".into(),
+        },
+        Phase::TcpRaw {
+            dest: RawDest::Endpoint(signal),
+            port: 554,
+            sizes: vec![380, 380],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
     ]);
     model(
         "D-LinkDayCam",
@@ -532,12 +884,32 @@ fn dlink_cam() -> DeviceModel {
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp("DCH-935L"),
-        Phase::ArpProbe { count: 2, announce: true },
-        Phase::Dns { endpoint: dcd, aaaa: true },
-        Phase::Tls { endpoint: dcd, port: 443, hello_size: 208, records: vec![350, 520] },
-        Phase::MdnsAnnounce { services: vec!["_dcp._tcp.local".into()] },
-        Phase::UdpRaw { dest: RawDest::Endpoint(relay), port: 5150, sizes: vec![620, 620] },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 2,
+            announce: true,
+        },
+        Phase::Dns {
+            endpoint: dcd,
+            aaaa: true,
+        },
+        Phase::Tls {
+            endpoint: dcd,
+            port: 443,
+            hello_size: 208,
+            records: vec![350, 520],
+        },
+        Phase::MdnsAnnounce {
+            services: vec!["_dcp._tcp.local".into()],
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Endpoint(relay),
+            port: 5150,
+            sizes: vec![620, 620],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
     ]);
     model(
         "D-LinkCam",
@@ -570,9 +942,18 @@ fn dlink_family(
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp(hostname),
-        Phase::ArpProbe { count: 2, announce: true },
-        Phase::Ipv6Bringup { mld_records: 1, router_solicit: false },
-        Phase::Dns { endpoint: dcd, aaaa: true },
+        Phase::ArpProbe {
+            count: 2,
+            announce: true,
+        },
+        Phase::Ipv6Bringup {
+            mld_records: 1,
+            router_solicit: false,
+        },
+        Phase::Dns {
+            endpoint: dcd,
+            aaaa: true,
+        },
         Phase::Tls {
             endpoint: dcd,
             port: 443,
@@ -582,12 +963,25 @@ fn dlink_family(
             hello_size: 205 + hello_shift,
             records: vec![340, 180],
         },
-        Phase::MdnsAnnounce { services: vec!["_dcp._tcp.local".into()] },
-        Phase::Ntp { endpoint: ntp, count: 1 },
-        Phase::optional(0.35, Phase::Ntp { endpoint: ntp, count: 1 }),
+        Phase::MdnsAnnounce {
+            services: vec!["_dcp._tcp.local".into()],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
+        Phase::optional(
+            0.35,
+            Phase::Ntp {
+                endpoint: ntp,
+                count: 1,
+            },
+        ),
         Phase::optional(
             announce_retry_prob,
-            Phase::MdnsAnnounce { services: vec!["_dcp._tcp.local".into()] },
+            Phase::MdnsAnnounce {
+                services: vec!["_dcp._tcp.local".into()],
+            },
         ),
     ]);
     p.size_jitter = 14;
@@ -595,7 +989,12 @@ fn dlink_family(
         // The smart plug reports an initial power-meter calibration blob.
         p.phases.push(Phase::optional(
             0.75,
-            Phase::Tls { endpoint: dcd, port: 443, hello_size: 205, records: vec![96] },
+            Phase::Tls {
+                endpoint: dcd,
+                port: 443,
+                hello_size: 205,
+                records: vec![96],
+            },
         ));
     }
     model(
@@ -620,12 +1019,37 @@ fn tplink_plug(
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp(hostname),
-        Phase::ArpProbe { count: 1, announce: true },
-        Phase::Dns { endpoint: cloud, aaaa: false },
-        Phase::UdpRaw { dest: RawDest::Broadcast, port: 9999, sizes: vec![46] },
-        Phase::Tls { endpoint: cloud, port: 50443, hello_size: 150 + hello_shift, records: vec![260] },
-        Phase::Ntp { endpoint: ntp, count: 1 },
-        Phase::optional(0.5, Phase::UdpRaw { dest: RawDest::Broadcast, port: 9999, sizes: vec![46] }),
+        Phase::ArpProbe {
+            count: 1,
+            announce: true,
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: false,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Broadcast,
+            port: 9999,
+            sizes: vec![46],
+        },
+        Phase::Tls {
+            endpoint: cloud,
+            port: 50443,
+            hello_size: 150 + hello_shift,
+            records: vec![260],
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
+        Phase::optional(
+            0.5,
+            Phase::UdpRaw {
+                dest: RawDest::Broadcast,
+                port: 9999,
+                sizes: vec![46],
+            },
+        ),
     ]);
     p.size_jitter = 12;
     model(
@@ -644,11 +1068,28 @@ fn edimax_plug(identifier: &'static str, description: &'static str, hostname: &s
     p.extend_phases([
         Phase::Eapol,
         Phase::dhcp(hostname),
-        Phase::ArpProbe { count: 1, announce: false },
-        Phase::UdpRaw { dest: RawDest::Broadcast, port: 20560, sizes: vec![38, 38] },
-        Phase::Dns { endpoint: cloud, aaaa: false },
-        Phase::HttpPost { endpoint: cloud, path: "/registration".into(), body_size: 180 },
-        Phase::Ntp { endpoint: ntp, count: 1 },
+        Phase::ArpProbe {
+            count: 1,
+            announce: false,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Broadcast,
+            port: 20560,
+            sizes: vec![38, 38],
+        },
+        Phase::Dns {
+            endpoint: cloud,
+            aaaa: false,
+        },
+        Phase::HttpPost {
+            endpoint: cloud,
+            path: "/registration".into(),
+            body_size: 180,
+        },
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
     ]);
     model(
         identifier,
@@ -660,17 +1101,42 @@ fn edimax_plug(identifier: &'static str, description: &'static str, hostname: &s
 
 /// The two Smarter kitchen appliances (devices 9–10 of Table III):
 /// identical WiFi module and local-only protocol.
-fn smarter_appliance(identifier: &'static str, description: &'static str, probe_shift: u32) -> DeviceModel {
+fn smarter_appliance(
+    identifier: &'static str,
+    description: &'static str,
+    probe_shift: u32,
+) -> DeviceModel {
     let mut p = DeviceProfile::new(identifier, OUI_SMARTER);
     let ntp = p.endpoint("pool.ntp.org");
     p.extend_phases([
         Phase::Eapol,
-        Phase::Dhcp { hostname: None, vendor_class: None, param_list: vec![1, 3, 6, 15] },
-        Phase::ArpProbe { count: 1, announce: false },
-        Phase::UdpRaw { dest: RawDest::Broadcast, port: 2081, sizes: vec![20 + probe_shift, 20 + probe_shift] },
+        Phase::Dhcp {
+            hostname: None,
+            vendor_class: None,
+            param_list: vec![1, 3, 6, 15],
+        },
+        Phase::ArpProbe {
+            count: 1,
+            announce: false,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Broadcast,
+            port: 2081,
+            sizes: vec![20 + probe_shift, 20 + probe_shift],
+        },
         Phase::Ping { count: 1 },
-        Phase::Ntp { endpoint: ntp, count: 1 },
-        Phase::optional(0.5, Phase::UdpRaw { dest: RawDest::Broadcast, port: 2081, sizes: vec![20 + probe_shift] }),
+        Phase::Ntp {
+            endpoint: ntp,
+            count: 1,
+        },
+        Phase::optional(
+            0.5,
+            Phase::UdpRaw {
+                dest: RawDest::Broadcast,
+                port: 2081,
+                sizes: vec![20 + probe_shift],
+            },
+        ),
     ]);
     p.size_jitter = 10;
     model(
@@ -754,8 +1220,18 @@ mod tests {
                     assert_eq!(pa, pb, "optional phases identical up to probability");
                 }
                 (
-                    Phase::Tls { endpoint: ea, port: pa, hello_size: ha, records: ra },
-                    Phase::Tls { endpoint: eb, port: pb, hello_size: hb, records: rb },
+                    Phase::Tls {
+                        endpoint: ea,
+                        port: pa,
+                        hello_size: ha,
+                        records: ra,
+                    },
+                    Phase::Tls {
+                        endpoint: eb,
+                        port: pb,
+                        hello_size: hb,
+                        records: rb,
+                    },
                 ) => {
                     // Same session shape; the hello differs by a few
                     // bytes inside the jitter band (the weak per-unit

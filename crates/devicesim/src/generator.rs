@@ -531,7 +531,9 @@ impl TraceGenerator {
             .options
             .push(dhcp::DhcpOption::ParameterRequestList(param_list.to_vec()));
         if let Some(name) = hostname {
-            discover.options.push(dhcp::DhcpOption::HostName(name.clone()));
+            discover
+                .options
+                .push(dhcp::DhcpOption::HostName(name.clone()));
         }
         if let Some(class) = vendor_class {
             discover
@@ -541,7 +543,9 @@ impl TraceGenerator {
         let mut request =
             dhcp::DhcpMessage::request(state.mac, xid, state.device_ip, self.gateway_ip);
         if let Some(name) = hostname {
-            request.options.push(dhcp::DhcpOption::HostName(name.clone()));
+            request
+                .options
+                .push(dhcp::DhcpOption::HostName(name.clone()));
         }
         for message in [discover, request] {
             let t = state.step();
@@ -678,10 +682,24 @@ mod tests {
         p.extend_phases([
             Phase::Eapol,
             Phase::dhcp("TestCam"),
-            Phase::ArpProbe { count: 2, announce: true },
-            Phase::Dns { endpoint: cloud, aaaa: true },
-            Phase::Ntp { endpoint: ntp, count: 1 },
-            Phase::Tls { endpoint: cloud, port: 443, hello_size: 180, records: vec![300, 120] },
+            Phase::ArpProbe {
+                count: 2,
+                announce: true,
+            },
+            Phase::Dns {
+                endpoint: cloud,
+                aaaa: true,
+            },
+            Phase::Ntp {
+                endpoint: ntp,
+                count: 1,
+            },
+            Phase::Tls {
+                endpoint: cloud,
+                port: 443,
+                hello_size: 180,
+                records: vec![300, 120],
+            },
         ]);
         p
     }
@@ -723,10 +741,7 @@ mod tests {
     #[test]
     fn optional_phase_sometimes_skipped() {
         let mut p = DeviceProfile::new("Opt", [1, 2, 3]);
-        p.extend_phases([
-            Phase::Eapol,
-            Phase::optional(0.5, Phase::Ping { count: 1 }),
-        ]);
+        p.extend_phases([Phase::Eapol, Phase::optional(0.5, Phase::Ping { count: 1 })]);
         let generator = TraceGenerator::new();
         let lengths: std::collections::HashSet<usize> = (0..64)
             .map(|seed| generator.generate(&p, seed).packets.len())
@@ -763,7 +778,10 @@ mod tests {
     #[test]
     fn ipv6_bringup_sets_ip_option_features() {
         let mut p = DeviceProfile::new("V6", [1, 2, 3]);
-        p.extend_phases([Phase::Ipv6Bringup { mld_records: 2, router_solicit: true }]);
+        p.extend_phases([Phase::Ipv6Bringup {
+            mld_records: 2,
+            router_solicit: true,
+        }]);
         let trace = TraceGenerator::new().generate(&p, 1);
         assert_eq!(trace.packets.len(), 2);
         let mld = &trace.packets[0];

@@ -53,6 +53,88 @@ pub fn osa_distance<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     prev[b.len()]
 }
 
+/// Banded OSA distance with an early-exit score cutoff (Ukkonen, 1985).
+///
+/// Returns `Some(d)` iff the OSA distance is `d <= bound`, and `None`
+/// iff the true distance exceeds `bound`. Because `D(i, j) >= |i - j|`,
+/// only the diagonal band of half-width `bound` can hold cells within
+/// the cutoff, so the DP fills `O(bound · min(n, m))` cells instead of
+/// `O(n · m)`; additionally the scan aborts as soon as a whole row
+/// exceeds the cutoff.
+///
+/// ```
+/// use sentinel_fingerprint::editdist::osa_distance_bounded;
+///
+/// assert_eq!(osa_distance_bounded(b"kitten", b"sitting", 3), Some(3));
+/// assert_eq!(osa_distance_bounded(b"kitten", b"sitting", 2), None);
+/// assert_eq!(osa_distance_bounded::<u8>(&[], &[], 0), Some(0));
+/// ```
+pub fn osa_distance_bounded<T: PartialEq>(a: &[T], b: &[T], bound: usize) -> Option<usize> {
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > bound {
+        return None;
+    }
+    if n == 0 {
+        return Some(m); // m <= bound by the length check above
+    }
+    if m == 0 {
+        return Some(n);
+    }
+    // Any cell value above `bound` behaves as "unreachable"; clamping to
+    // `inf` keeps saturating arithmetic safe for huge bounds.
+    let inf = bound.saturating_add(1);
+    let cols = m + 1;
+    let mut prev_prev = vec![inf; cols];
+    let mut prev: Vec<usize> = (0..cols)
+        .map(|j| if j <= bound { j } else { inf })
+        .collect();
+    let mut current = vec![inf; cols];
+    for i in 0..n {
+        let row = i + 1;
+        // Only D(row, j) with |row - j| <= bound can stay within the
+        // cutoff; everything outside the band is `inf`.
+        let lo = row.saturating_sub(bound);
+        let hi = (row + bound).min(m);
+        // Reset the stale cells adjacent to the band (they still hold
+        // values from two rows ago after the swaps below).
+        if lo > 0 {
+            current[lo - 1] = inf;
+        }
+        if hi < m {
+            current[hi + 1] = inf;
+        }
+        let mut row_min = inf;
+        if lo == 0 {
+            current[0] = row; // first column: delete all of a[..row]
+            row_min = row;
+        }
+        for j in lo.max(1)..=hi {
+            let (ai, bj) = (&a[i], &b[j - 1]);
+            let cost = usize::from(ai != bj);
+            let mut best = prev[j]
+                .saturating_add(1) // deletion
+                .min(current[j - 1].saturating_add(1)) // insertion
+                .min(prev[j - 1].saturating_add(cost)); // substitution
+            if i > 0 && j > 1 && *ai == b[j - 2] && a[i - 1] == *bj {
+                best = best.min(prev_prev[j - 2].saturating_add(1)); // transposition
+            }
+            let best = best.min(inf);
+            current[j] = best;
+            row_min = row_min.min(best);
+        }
+        // Every later cell derives from this row or (via transposition)
+        // from a row whose reachable cells this row dominates, so once a
+        // whole row exceeds the cutoff the distance provably does too.
+        if row_min >= inf {
+            return None;
+        }
+        std::mem::swap(&mut prev_prev, &mut prev);
+        std::mem::swap(&mut prev, &mut current);
+    }
+    let distance = prev[m];
+    (distance <= bound).then_some(distance)
+}
+
 /// Plain Levenshtein distance (no transposition).
 ///
 /// Unlike the OSA distance, this is a true metric (satisfies the triangle
@@ -166,7 +248,11 @@ mod tests {
     #[test]
     fn known_string_vectors() {
         assert_eq!(osa_distance(b"abcdef", b"abcdef"), 0);
-        assert_eq!(osa_distance(b"ca", b"abc"), 3, "classic OSA vs unrestricted DL example");
+        assert_eq!(
+            osa_distance(b"ca", b"abc"),
+            3,
+            "classic OSA vs unrestricted DL example"
+        );
         // insert 'n', then transpose the disjoint "ca" -> "ac".
         assert_eq!(osa_distance(b"a cat", b"an act"), 2);
         assert_eq!(levenshtein_distance(b"flaw", b"lawn"), 2);

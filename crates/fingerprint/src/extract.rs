@@ -41,7 +41,8 @@ impl FeatureExtractor {
             }
             None => 0,
         };
-        self.vectors.push(FeatureVector::from_packet(packet, counter));
+        self.vectors
+            .push(FeatureVector::from_packet(packet, counter));
         self.vectors.last().expect("just pushed")
     }
 
@@ -101,10 +102,12 @@ mod tests {
     fn dst_ip_counter_tracks_first_appearance_order() {
         let gw = Ipv4Addr::new(192, 168, 0, 1);
         let cloud = Ipv4Addr::new(52, 1, 2, 3);
-        let packets = [udp_to(gw, 53, 0),
+        let packets = [
+            udp_to(gw, 53, 0),
             udp_to(cloud, 443, 1),
             udp_to(gw, 53, 2),
-            udp_to(cloud, 443, 3)];
+            udp_to(cloud, 443, 3),
+        ];
         let mut extractor = FeatureExtractor::new();
         let counters: Vec<u32> = packets
             .iter()

@@ -40,7 +40,9 @@ pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
 /// * well-known `[0, 1023]` ⇒ 1
 /// * registered `[1024, 49151]` ⇒ 2
 /// * dynamic `[49152, 65535]` ⇒ 3
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum PortClass {
     /// The packet has no transport port (ARP, ICMP, EAPoL, …).
     #[default]
@@ -126,7 +128,11 @@ impl FeatureVector {
     pub fn to_array(&self) -> [f64; FEATURE_COUNT] {
         let mut out = [0.0; FEATURE_COUNT];
         for (i, protocol) in Protocol::ALL.into_iter().enumerate() {
-            out[i] = if self.protocols.contains(protocol) { 1.0 } else { 0.0 };
+            out[i] = if self.protocols.contains(protocol) {
+                1.0
+            } else {
+                0.0
+            };
         }
         out[16] = self.ip_option_padding as u8 as f64;
         out[17] = self.ip_option_router_alert as u8 as f64;
@@ -142,12 +148,8 @@ impl FeatureVector {
 fn ip_option_flags(packet: &Packet) -> (bool, bool) {
     use sentinel_netproto::PacketBody;
     match &packet.body {
-        PacketBody::Ipv4 { header, .. } => {
-            (header.has_padding_option(), header.has_router_alert())
-        }
-        PacketBody::Ipv6 { header, .. } => {
-            (header.has_padding_option(), header.has_router_alert())
-        }
+        PacketBody::Ipv4 { header, .. } => (header.has_padding_option(), header.has_router_alert()),
+        PacketBody::Ipv6 { header, .. } => (header.has_padding_option(), header.has_router_alert()),
         _ => (false, false),
     }
 }

@@ -80,7 +80,9 @@ mod tests {
         let fp: Fingerprint = (1..=2).map(vector).collect();
         let fixed = FixedFingerprint::from_fingerprint(&fp);
         // Two packets fill 46 slots; the rest must be zero.
-        assert!(fixed.as_slice()[2 * FEATURE_COUNT..].iter().all(|&v| v == 0.0));
+        assert!(fixed.as_slice()[2 * FEATURE_COUNT..]
+            .iter()
+            .all(|&v| v == 0.0));
         // The filled part is not all zero (dhcp/udp/ip bits are set).
         assert!(fixed.as_slice()[..FEATURE_COUNT].iter().any(|&v| v != 0.0));
     }
@@ -90,7 +92,9 @@ mod tests {
         // ABAB -> unique A, B: only 2 slots filled.
         let fp = Fingerprint::new([vector(1), vector(2), vector(1), vector(2)]);
         let fixed = FixedFingerprint::from_fingerprint(&fp);
-        assert!(fixed.as_slice()[2 * FEATURE_COUNT..].iter().all(|&v| v == 0.0));
+        assert!(fixed.as_slice()[2 * FEATURE_COUNT..]
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Packet-column interning for fast edit-distance comparison.
+//!
+//! The OSA inner loop compares packet columns (23-feature
+//! [`FeatureVector`]s) once per DP cell. Interning maps every distinct
+//! column to a compact `u32` symbol id so the O(n·m) loop compares two
+//! integers instead of two structs. Reference fingerprints are interned
+//! once at training time; probes are projected against the frozen table
+//! at identification time.
+
+use std::collections::HashMap;
+
+use crate::{FeatureVector, Fingerprint};
+
+/// A fingerprint whose packet columns have been replaced by `u32`
+/// symbol ids from a [`SymbolTable`].
+///
+/// Two interned fingerprints from the same table (or a table and its
+/// [`SymbolTable::project`]ion) have equal symbols at a position iff the
+/// original feature vectors are equal, so any distance over the symbol
+/// slices equals the distance over the original vector slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedFingerprint {
+    symbols: Vec<u32>,
+}
+
+impl InternedFingerprint {
+    /// The symbol sequence, one id per packet column.
+    pub fn symbols(&self) -> &[u32] {
+        &self.symbols
+    }
+
+    /// The number of packet columns `n`.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Returns `true` if the fingerprint has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+/// Bijective mapping from distinct [`FeatureVector`]s to dense `u32`
+/// symbol ids.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    ids: HashMap<FeatureVector, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// The number of distinct feature vectors interned so far.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Interns every packet column of `fingerprint`, growing the table
+    /// with fresh ids for vectors not seen before.
+    pub fn intern(&mut self, fingerprint: &Fingerprint) -> InternedFingerprint {
+        let symbols = fingerprint
+            .vectors()
+            .iter()
+            .map(|vector| {
+                if let Some(&id) = self.ids.get(vector) {
+                    id
+                } else {
+                    let id = u32::try_from(self.ids.len())
+                        .expect("fewer than 2^32 distinct packet columns");
+                    self.ids.insert(vector.clone(), id);
+                    id
+                }
+            })
+            .collect();
+        InternedFingerprint { symbols }
+    }
+
+    /// Maps `fingerprint` onto this table *without* growing it: vectors
+    /// already interned keep their id, unseen vectors get consistent
+    /// fresh ids past the table (so they compare unequal to every
+    /// interned symbol, and equal among themselves within this call).
+    ///
+    /// This is the identification-time path: probes are projected
+    /// against the frozen training-time table, keeping `&self` so
+    /// concurrent identifications need no locking.
+    pub fn project(&self, fingerprint: &Fingerprint) -> InternedFingerprint {
+        let base = u32::try_from(self.ids.len()).expect("fewer than 2^32 distinct packet columns");
+        let mut fresh: HashMap<&FeatureVector, u32> = HashMap::new();
+        let symbols = fingerprint
+            .vectors()
+            .iter()
+            .map(|vector| {
+                if let Some(&id) = self.ids.get(vector) {
+                    id
+                } else {
+                    let next = base + u32::try_from(fresh.len()).expect("fresh ids fit in u32");
+                    *fresh.entry(vector).or_insert(next)
+                }
+            })
+            .collect();
+        InternedFingerprint { symbols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::editdist::osa_distance;
+    use sentinel_netproto::{MacAddr, Packet};
+
+    fn vector(counter: u32) -> FeatureVector {
+        FeatureVector::from_packet(&Packet::dhcp_discover(MacAddr::ZERO, 1, 0), counter)
+    }
+
+    fn fp(counters: &[u32]) -> Fingerprint {
+        counters.iter().map(|&c| vector(c)).collect()
+    }
+
+    #[test]
+    fn interning_preserves_equality_structure() {
+        let mut table = SymbolTable::new();
+        let a = table.intern(&fp(&[1, 2, 3, 2]));
+        let b = table.intern(&fp(&[2, 1, 3]));
+        assert_eq!(table.len(), 3, "three distinct columns");
+        assert_eq!(a.symbols()[1], b.symbols()[0], "same vector, same id");
+        assert_ne!(a.symbols()[0], b.symbols()[0]);
+        assert_eq!(
+            osa_distance(a.symbols(), b.symbols()),
+            osa_distance(fp(&[1, 2, 3, 2]).vectors(), fp(&[2, 1, 3]).vectors())
+        );
+    }
+
+    #[test]
+    fn projection_does_not_grow_the_table() {
+        let mut table = SymbolTable::new();
+        let _ = table.intern(&fp(&[1, 2]));
+        let before = table.len();
+        let probe = table.project(&fp(&[2, 9, 8, 9]));
+        assert_eq!(table.len(), before);
+        // Seen vector keeps its id; unseen ones get fresh ids past the
+        // table, consistent within the projection.
+        assert!(probe.symbols()[0] < before as u32);
+        assert!(probe.symbols()[1] >= before as u32);
+        assert_eq!(
+            probe.symbols()[1],
+            probe.symbols()[3],
+            "repeated unseen vector"
+        );
+        assert_ne!(probe.symbols()[1], probe.symbols()[2]);
+    }
+
+    #[test]
+    fn projected_probe_distance_matches_vector_distance() {
+        let mut table = SymbolTable::new();
+        let reference = fp(&[1, 2, 3, 4, 5]);
+        let interned = table.intern(&reference);
+        let probe = fp(&[1, 9, 3, 4]);
+        let projected = table.project(&probe);
+        assert_eq!(
+            osa_distance(projected.symbols(), interned.symbols()),
+            osa_distance(probe.vectors(), reference.vectors())
+        );
+    }
+
+    #[test]
+    fn empty_fingerprint_interns_empty() {
+        let mut table = SymbolTable::new();
+        let empty = table.intern(&Fingerprint::default());
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        assert!(table.is_empty());
+    }
+}

@@ -41,10 +41,12 @@ pub mod editdist;
 mod extract;
 mod features;
 mod fixed;
+mod intern;
 mod matrix;
 pub mod setup;
 
 pub use extract::{extract, FeatureExtractor};
 pub use features::{FeatureVector, PortClass, FEATURE_COUNT, FEATURE_NAMES};
 pub use fixed::{FixedFingerprint, FIXED_DIMENSIONS, FIXED_PACKETS};
+pub use intern::{InternedFingerprint, SymbolTable};
 pub use matrix::Fingerprint;

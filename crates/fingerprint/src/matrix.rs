@@ -86,10 +86,7 @@ mod tests {
     use sentinel_netproto::{MacAddr, Packet};
 
     fn vector(counter: u32) -> FeatureVector {
-        FeatureVector::from_packet(
-            &Packet::dhcp_discover(MacAddr::ZERO, 1, 0),
-            counter,
-        )
+        FeatureVector::from_packet(&Packet::dhcp_discover(MacAddr::ZERO, 1, 0), counter)
     }
 
     #[test]

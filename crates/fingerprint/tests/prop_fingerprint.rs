@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 
-use sentinel_fingerprint::editdist::{levenshtein_distance, osa_distance};
+use sentinel_fingerprint::editdist::{levenshtein_distance, osa_distance, osa_distance_bounded};
 use sentinel_fingerprint::{
-    extract, FeatureVector, Fingerprint, FixedFingerprint, PortClass, FEATURE_COUNT,
+    extract, FeatureVector, Fingerprint, FixedFingerprint, PortClass, SymbolTable, FEATURE_COUNT,
 };
 use sentinel_netproto::{MacAddr, Packet};
 
@@ -50,6 +50,51 @@ proptest! {
     #[test]
     fn osa_bounded_by_levenshtein(a in symbols(), b in symbols()) {
         prop_assert!(osa_distance(&a, &b) <= levenshtein_distance(&a, &b));
+    }
+
+    #[test]
+    fn osa_bounded_agrees_with_exact(a in symbols(), b in symbols(), bound in 0usize..30) {
+        let exact = osa_distance(&a, &b);
+        match osa_distance_bounded(&a, &b, bound) {
+            // Within the bound the banded DP must reproduce the exact
+            // distance bit-for-bit.
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+                prop_assert!(d <= bound);
+            }
+            // `None` is only allowed when the true distance genuinely
+            // exceeds the bound — never a false early exit.
+            None => prop_assert!(
+                exact > bound,
+                "bounded OSA gave up at bound {} but exact distance is {}",
+                bound,
+                exact
+            ),
+        }
+    }
+
+    #[test]
+    fn interned_distance_equals_vector_distance(a in vectors(20), b in vectors(20)) {
+        let fa = Fingerprint::new(a);
+        let fb = Fingerprint::new(b);
+        // Reference side interned, probe side projected (the identifier's
+        // exact usage): integer-symbol OSA must equal the vector OSA.
+        let mut table = SymbolTable::new();
+        let ia = table.intern(&fa);
+        let ib = table.project(&fb);
+        prop_assert_eq!(
+            osa_distance(ia.symbols(), ib.symbols()),
+            osa_distance(fa.vectors(), fb.vectors())
+        );
+        // And the bounded variant agrees on the interned views: the
+        // distance never exceeds the longer length, so that bound is
+        // always sufficient.
+        let exact = osa_distance(ia.symbols(), ib.symbols());
+        let longest = fa.len().max(fb.len());
+        prop_assert_eq!(
+            osa_distance_bounded(ia.symbols(), ib.symbols(), longest),
+            Some(exact)
+        );
     }
 
     #[test]

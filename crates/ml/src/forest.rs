@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::parallel;
 use crate::sampling::bootstrap_indices;
 use crate::tree::argmax;
 use crate::{Dataset, DecisionTree, TreeConfig};
@@ -45,6 +46,12 @@ pub struct ForestConfig {
     pub min_samples_leaf: usize,
     /// RNG seed for bootstrap and feature sampling.
     pub seed: u64,
+    /// Worker threads for fitting (`0` = auto via `SENTINEL_THREADS` /
+    /// available parallelism, `1` = the exact sequential path). The
+    /// fitted forest is bit-identical for every thread count: bootstrap
+    /// samples and per-tree seeds are drawn sequentially up front, so
+    /// threads only share out already-determined work.
+    pub threads: usize,
 }
 
 impl Default for ForestConfig {
@@ -58,6 +65,7 @@ impl Default for ForestConfig {
             min_samples_split: 2,
             min_samples_leaf: 1,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -74,6 +82,13 @@ impl ForestConfig {
     #[must_use]
     pub fn with_trees(mut self, n_trees: usize) -> Self {
         self.n_trees = n_trees;
+        self
+    }
+
+    /// Returns the config with a different thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -105,21 +120,39 @@ impl RandomForest {
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
         let n_classes = data.n_classes().max(2);
-        // Out-of-bag votes: each tree votes on the samples its bootstrap
-        // missed, giving a free generalization estimate (Breiman 2001).
+        // Draw every tree's bootstrap sample and seed sequentially from
+        // the forest RNG first — the exact stream of the sequential
+        // implementation — then fit the (now fully determined) trees on
+        // worker threads. Each tree gets an independent stream so
+        // feature shuffling cannot correlate across trees.
+        let plans: Vec<(Vec<usize>, u64)> = (0..config.n_trees)
+            .map(|_| {
+                let sample = bootstrap_indices(data.len(), &mut rng);
+                let tree_seed: u64 = rng.gen();
+                (sample, tree_seed)
+            })
+            .collect();
+        let threads = parallel::effective_threads(config.threads);
+        let fitted: Vec<(DecisionTree, Vec<(usize, usize)>)> =
+            parallel::map_indexed(config.n_trees, threads, |t| {
+                let (sample, tree_seed) = &plans[t];
+                let mut tree_rng = StdRng::seed_from_u64(*tree_seed);
+                let tree = DecisionTree::fit_on(data, sample, &tree_config, &mut tree_rng);
+                // Out-of-bag votes: each tree votes on the samples its
+                // bootstrap missed, giving a free generalization
+                // estimate (Breiman 2001).
+                let in_bag: std::collections::HashSet<usize> = sample.iter().copied().collect();
+                let oob: Vec<(usize, usize)> = (0..data.len())
+                    .filter(|i| !in_bag.contains(i))
+                    .map(|i| (i, tree.predict(data.row(i))))
+                    .collect();
+                (tree, oob)
+            });
         let mut oob_votes = vec![vec![0usize; n_classes]; data.len()];
         let mut trees = Vec::with_capacity(config.n_trees);
-        for _ in 0..config.n_trees {
-            let sample = bootstrap_indices(data.len(), &mut rng);
-            // Derive an independent stream per tree so feature
-            // shuffling cannot correlate across trees.
-            let mut tree_rng = StdRng::seed_from_u64(rng.gen());
-            let tree = DecisionTree::fit_on(data, &sample, &tree_config, &mut tree_rng);
-            let in_bag: std::collections::HashSet<usize> = sample.into_iter().collect();
-            for i in 0..data.len() {
-                if !in_bag.contains(&i) {
-                    oob_votes[i][tree.predict(data.row(i))] += 1;
-                }
+        for (tree, oob) in fitted {
+            for (i, vote) in oob {
+                oob_votes[i][vote] += 1;
             }
             trees.push(tree);
         }
@@ -146,6 +179,11 @@ impl RandomForest {
     /// sample received at least one out-of-bag vote.
     pub fn oob_accuracy(&self) -> Option<f64> {
         self.oob_accuracy
+    }
+
+    /// The fitted trees, in fitting order.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
     }
 
     /// The number of trees in the forest.
@@ -181,8 +219,31 @@ impl RandomForest {
 
     /// Convenience for binary classifiers: returns `true` if class 1 wins
     /// the vote.
+    ///
+    /// Equivalent to `predict(row) == 1`, but for binary forests the
+    /// vote loop stops as soon as the outcome is mathematically decided
+    /// (majority reached, or unreachable even if every remaining tree
+    /// votes 1) — on decisive inputs this skips roughly half the trees,
+    /// which is most of the 27-classifier identification stage.
     pub fn accepts(&self, row: &[f64]) -> bool {
-        self.predict(row) == 1
+        if self.n_classes != 2 {
+            return self.predict(row) == 1;
+        }
+        let n = self.trees.len();
+        // `argmax` sends ties to class 0, so class 1 needs a strict
+        // majority of the votes.
+        let needed = n / 2 + 1;
+        let mut ones = 0usize;
+        for (t, tree) in self.trees.iter().enumerate() {
+            ones += usize::from(tree.predict(row) == 1);
+            if ones >= needed {
+                return true;
+            }
+            if ones + (n - t - 1) < needed {
+                return false;
+            }
+        }
+        false
     }
 
     /// Mean Gini feature importances over all trees, normalized to sum
@@ -234,6 +295,35 @@ mod tests {
         let a = RandomForest::fit(&data, &ForestConfig::default().with_seed(9));
         let b = RandomForest::fit(&data, &ForestConfig::default().with_seed(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fitted_forest_is_identical_for_every_thread_count() {
+        let data = blobs(20);
+        let sequential =
+            RandomForest::fit(&data, &ForestConfig::default().with_seed(9).with_threads(1));
+        for threads in [2, 8] {
+            let parallel = RandomForest::fit(
+                &data,
+                &ForestConfig::default().with_seed(9).with_threads(threads),
+            );
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn accepts_early_exit_matches_full_vote() {
+        let data = blobs(25);
+        let forest = RandomForest::fit(&data, &ForestConfig::default().with_trees(31).with_seed(5));
+        for i in 0..data.len() {
+            let row = data.row(i);
+            assert_eq!(forest.accepts(row), forest.predict(row) == 1, "row {i}");
+        }
+        // Ambiguous mid-point rows too, where the vote is close.
+        for x in [2.0, 2.5, 3.0] {
+            let row = [x, x];
+            assert_eq!(forest.accepts(&row), forest.predict(&row) == 1);
+        }
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   probabilities.
 //! * [`crossval`] — stratified k-fold cross-validation splits.
 //! * [`metrics`] — accuracy, confusion matrices, precision/recall.
+//! * [`packed`] — a contiguous, lockstep-walked prediction arena over a
+//!   fitted forest (identical results, hot-path speed).
+//! * [`parallel`] — deterministic fork/join helpers (ordered merges,
+//!   `SENTINEL_THREADS` thread-count resolution).
 //! * [`sampling`] — bootstrap and without-replacement sampling.
 //!
 //! Everything is deterministic given a seed, so experiments reproduce
@@ -39,9 +43,12 @@ pub mod crossval;
 mod data;
 mod forest;
 pub mod metrics;
+pub mod packed;
+pub mod parallel;
 pub mod sampling;
 mod tree;
 
 pub use data::Dataset;
 pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
+pub use packed::PackedForest;
 pub use tree::{DecisionTree, TreeConfig};

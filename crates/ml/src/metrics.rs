@@ -90,7 +90,9 @@ impl ConfusionMatrix {
     /// Mean per-class recall over classes with observations (macro
     /// average, the paper's "global ratio of correct identification").
     pub fn macro_recall(&self) -> f64 {
-        let recalls: Vec<f64> = (0..self.n_classes()).filter_map(|c| self.recall(c)).collect();
+        let recalls: Vec<f64> = (0..self.n_classes())
+            .filter_map(|c| self.recall(c))
+            .collect();
         if recalls.is_empty() {
             return 0.0;
         }

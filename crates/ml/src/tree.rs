@@ -30,31 +30,39 @@ impl Default for TreeConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-enum Node {
-    Leaf {
-        /// Per-class sample counts at the leaf (for probabilities).
-        counts: Vec<usize>,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: usize,
-        right: usize,
-        /// Samples that reached this split (importance weighting).
-        n_samples: usize,
-        /// Gini impurity decrease achieved by the split.
-        impurity_decrease: f64,
-    },
-}
+/// Marks a leaf in the per-node `features` array.
+pub(crate) const LEAF: u32 = u32::MAX;
 
 /// A trained CART decision tree.
 ///
 /// Samples with `feature <= threshold` go left. Leaves store training
 /// class counts so the tree can emit probabilities.
+///
+/// Nodes live in parallel arrays (structure-of-arrays) rather than an
+/// enum arena: the predict loop only touches `features`, `thresholds`
+/// and the child ids, so a traversal step reads three small contiguous
+/// arrays instead of one ~56-byte enum, and each leaf carries its
+/// precomputed majority class — the per-visit `argmax` of the old
+/// layout disappears. Forest prediction is the hot path of the
+/// 27-classifier identification stage, which is why the layout is
+/// tuned this aggressively.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DecisionTree {
-    nodes: Vec<Node>,
+    /// Per-node split feature; [`LEAF`] (`u32::MAX`) marks a leaf.
+    features: Vec<u32>,
+    /// Per-node split threshold (`0.0` at leaves).
+    thresholds: Vec<f64>,
+    /// Left child id at splits; at leaves, the index into `leaf_counts`.
+    lefts: Vec<u32>,
+    /// Right child id at splits; at leaves, the precomputed majority
+    /// class (first class on ties, matching [`argmax`]).
+    rights: Vec<u32>,
+    /// Samples that reached each node (importance weighting).
+    n_samples: Vec<usize>,
+    /// Gini impurity decrease per node (`0.0` at leaves).
+    impurity_decreases: Vec<f64>,
+    /// Per-leaf training class counts (for probabilities).
+    leaf_counts: Vec<Vec<usize>>,
     n_classes: usize,
 }
 
@@ -84,7 +92,13 @@ impl DecisionTree {
         assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
         let n_classes = data.n_classes().max(2);
         let mut tree = DecisionTree {
-            nodes: Vec::new(),
+            features: Vec::new(),
+            thresholds: Vec::new(),
+            lefts: Vec::new(),
+            rights: Vec::new(),
+            n_samples: Vec::new(),
+            impurity_decreases: Vec::new(),
+            leaf_counts: Vec::new(),
             n_classes,
         };
         let mut work = indices.to_vec();
@@ -94,18 +108,18 @@ impl DecisionTree {
 
     /// The number of nodes in the tree.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.features.len()
     }
 
     /// The maximum depth of the tree (root = 0, single leaf = 0).
     pub fn depth(&self) -> usize {
-        fn walk(nodes: &[Node], at: usize) -> usize {
-            match &nodes[at] {
-                Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+        fn walk(tree: &DecisionTree, at: usize) -> usize {
+            if tree.features[at] == LEAF {
+                return 0;
             }
+            1 + walk(tree, tree.lefts[at] as usize).max(walk(tree, tree.rights[at] as usize))
         }
-        walk(&self.nodes, 0)
+        walk(self, 0)
     }
 
     /// Predicts the class of a feature row.
@@ -114,38 +128,76 @@ impl DecisionTree {
     ///
     /// Panics if `row` is shorter than the features the tree was trained
     /// on.
+    #[inline]
     pub fn predict(&self, row: &[f64]) -> usize {
-        let counts = self.leaf_counts(row);
-        argmax(counts)
+        let mut at = 0usize;
+        loop {
+            let feature = self.features[at];
+            if feature == LEAF {
+                return self.rights[at] as usize;
+            }
+            at = if row[feature as usize] <= self.thresholds[at] {
+                self.lefts[at]
+            } else {
+                self.rights[at]
+            } as usize;
+        }
     }
 
     /// Per-class probability estimate for a feature row (leaf class
     /// frequencies).
     pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
-        let counts = self.leaf_counts(row);
+        let counts = self.leaf_counts_for(row);
         let total: usize = counts.iter().sum();
         counts
             .iter()
-            .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+            .map(|&c| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                }
+            })
             .collect()
     }
 
-    fn leaf_counts(&self, row: &[f64]) -> &[usize] {
-        let mut at = 0;
-        loop {
-            match &self.nodes[at] {
-                Node::Leaf { counts } => return counts,
-                Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                    ..
-                } => {
-                    at = if row[*feature] <= *threshold { *left } else { *right };
-                }
-            }
+    /// Appends this tree's nodes to a [`crate::packed`] arena, offsetting
+    /// child ids by the arena's current length, and returns the root's
+    /// arena index.
+    pub(crate) fn pack_into(&self, nodes: &mut Vec<crate::packed::PackedNode>) -> u32 {
+        let base = nodes.len() as u32;
+        if self.features.is_empty() {
+            // Defensive: an empty tree cannot predict; pack it as a
+            // class-0 leaf so the arena walk stays in bounds.
+            nodes.push(crate::packed::PackedNode::leaf(0));
+            return base;
         }
+        for i in 0..self.features.len() {
+            let feature = self.features[i];
+            nodes.push(if feature == LEAF {
+                crate::packed::PackedNode::leaf(self.rights[i])
+            } else {
+                crate::packed::PackedNode::split(
+                    feature,
+                    self.thresholds[i],
+                    base + self.lefts[i],
+                    base + self.rights[i],
+                )
+            });
+        }
+        base
+    }
+
+    fn leaf_counts_for(&self, row: &[f64]) -> &[usize] {
+        let mut at = 0usize;
+        while self.features[at] != LEAF {
+            at = if row[self.features[at] as usize] <= self.thresholds[at] {
+                self.lefts[at]
+            } else {
+                self.rights[at]
+            } as usize;
+        }
+        &self.leaf_counts[self.lefts[at] as usize]
     }
 
     /// Builds the subtree over `indices`, returning its root node id.
@@ -173,30 +225,42 @@ impl DecisionTree {
                     return self.push_leaf(counts);
                 }
                 // Reserve the node id before children so the root is node 0.
-                let id = self.nodes.len();
-                self.nodes.push(Node::Leaf { counts: Vec::new() }); // placeholder
+                let id = self.push_placeholder();
                 let parent_gini = gini(&counts, indices.len());
                 let n_samples = indices.len();
                 let (left_idx, right_idx) = indices.split_at_mut(split_at);
                 let left = self.build(data, left_idx, depth + 1, config, rng);
                 let right = self.build(data, right_idx, depth + 1, config, rng);
-                self.nodes[id] = Node::Split {
-                    feature,
-                    threshold,
-                    left,
-                    right,
-                    n_samples,
-                    impurity_decrease: (parent_gini - weighted_child_gini).max(0.0),
-                };
+                self.features[id] = u32::try_from(feature).expect("feature id fits u32");
+                self.thresholds[id] = threshold;
+                self.lefts[id] = u32::try_from(left).expect("node id fits u32");
+                self.rights[id] = u32::try_from(right).expect("node id fits u32");
+                self.n_samples[id] = n_samples;
+                self.impurity_decreases[id] = (parent_gini - weighted_child_gini).max(0.0);
                 id
             }
             None => self.push_leaf(counts),
         }
     }
 
+    fn push_placeholder(&mut self) -> usize {
+        let id = self.features.len();
+        self.features.push(LEAF);
+        self.thresholds.push(0.0);
+        self.lefts.push(0);
+        self.rights.push(0);
+        self.n_samples.push(0);
+        self.impurity_decreases.push(0.0);
+        id
+    }
+
     fn push_leaf(&mut self, counts: Vec<usize>) -> usize {
-        self.nodes.push(Node::Leaf { counts });
-        self.nodes.len() - 1
+        let id = self.push_placeholder();
+        self.n_samples[id] = counts.iter().sum();
+        self.lefts[id] = u32::try_from(self.leaf_counts.len()).expect("leaf id fits u32");
+        self.rights[id] = u32::try_from(argmax(&counts)).expect("class id fits u32");
+        self.leaf_counts.push(counts);
+        id
     }
 
     fn class_counts(&self, data: &Dataset, indices: &[usize]) -> Vec<usize> {
@@ -240,7 +304,11 @@ impl DecisionTree {
                 break;
             }
             column.clear();
-            column.extend(indices.iter().map(|&i| (data.row(i)[feature], data.label(i))));
+            column.extend(
+                indices
+                    .iter()
+                    .map(|&i| (data.row(i)[feature], data.label(i))),
+            );
             column.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
             let total = column.len();
             if column[0].0 == column[total - 1].0 {
@@ -274,19 +342,14 @@ impl DecisionTree {
     /// to sum to 1 over `n_features` (all zeros for a single-leaf tree).
     pub fn feature_importances(&self, n_features: usize) -> Vec<f64> {
         let mut importances = vec![0.0; n_features];
-        let root_samples = match self.nodes.first() {
-            Some(Node::Split { n_samples, .. }) => *n_samples as f64,
-            _ => return importances,
-        };
-        for node in &self.nodes {
-            if let Node::Split {
-                feature,
-                n_samples,
-                impurity_decrease,
-                ..
-            } = node
-            {
-                importances[*feature] += *n_samples as f64 / root_samples * impurity_decrease;
+        if self.features.first().is_none_or(|&f| f == LEAF) {
+            return importances; // single-leaf tree: no split anywhere
+        }
+        let root_samples = self.n_samples[0] as f64;
+        for at in 0..self.features.len() {
+            if self.features[at] != LEAF {
+                importances[self.features[at] as usize] +=
+                    self.n_samples[at] as f64 / root_samples * self.impurity_decreases[at];
             }
         }
         let total: f64 = importances.iter().sum();
@@ -402,6 +465,25 @@ mod tests {
         let sum: f64 = proba.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(proba[1] > proba[0]);
+    }
+
+    #[test]
+    fn predict_agrees_with_proba_argmax() {
+        let tree = DecisionTree::fit(&xor_dataset(), &TreeConfig::default(), &mut rng());
+        for row in [[0.0, 0.0], [1.0, 1.0], [0.0, 1.0], [1.0, 0.0]] {
+            let proba = tree.predict_proba(&row);
+            let by_proba = proba
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+                .map(|(i, _)| i)
+                .unwrap();
+            assert_eq!(
+                tree.predict(&row),
+                by_proba,
+                "cached majority class matches"
+            );
+        }
     }
 
     #[test]

@@ -226,7 +226,13 @@ fn classify_transport(transport: &Transport, set: &mut ProtocolSet) {
     }
 }
 
-fn classify_app(payload: &AppPayload, src_port: u16, dst_port: u16, udp: bool, set: &mut ProtocolSet) {
+fn classify_app(
+    payload: &AppPayload,
+    src_port: u16,
+    dst_port: u16,
+    udp: bool,
+    set: &mut ProtocolSet,
+) {
     let port_is = |p: u16| src_port == p || dst_port == p;
     match payload {
         AppPayload::Dhcp(msg) => {

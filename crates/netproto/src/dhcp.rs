@@ -456,7 +456,8 @@ mod tests {
     #[test]
     fn vendor_class_roundtrip() {
         let mut msg = DhcpMessage::discover(mac(), 3);
-        msg.options.push(DhcpOption::VendorClassId("udhcp 1.21.1".into()));
+        msg.options
+            .push(DhcpOption::VendorClassId("udhcp 1.21.1".into()));
         msg.options.push(DhcpOption::HostName("EdimaxPlug".into()));
         let mut buf = Vec::new();
         msg.encode(&mut buf);

@@ -383,7 +383,12 @@ fn parse_record(bytes: &[u8], offset: usize) -> Result<(ResourceRecord, usize), 
     }
     let rtype = RecordType::from_u16(u16::from_be_bytes([bytes[next], bytes[next + 1]]));
     let rclass = u16::from_be_bytes([bytes[next + 2], bytes[next + 3]]);
-    let ttl = u32::from_be_bytes([bytes[next + 4], bytes[next + 5], bytes[next + 6], bytes[next + 7]]);
+    let ttl = u32::from_be_bytes([
+        bytes[next + 4],
+        bytes[next + 5],
+        bytes[next + 6],
+        bytes[next + 7],
+    ]);
     let rdlen = u16::from_be_bytes([bytes[next + 8], bytes[next + 9]]) as usize;
     let data_start = next + 10;
     let data_end = data_start + rdlen;
@@ -435,11 +440,17 @@ mod tests {
 
     #[test]
     fn query_roundtrip() {
-        let msg = DnsMessage::query(7, [Question::a("api.vendor.example"), Question {
-            name: "api.vendor.example".into(),
-            qtype: RecordType::Aaaa,
-            unicast_response: false,
-        }]);
+        let msg = DnsMessage::query(
+            7,
+            [
+                Question::a("api.vendor.example"),
+                Question {
+                    name: "api.vendor.example".into(),
+                    qtype: RecordType::Aaaa,
+                    unicast_response: false,
+                },
+            ],
+        );
         assert_eq!(DnsMessage::parse(&msg.to_bytes()).unwrap(), msg);
     }
 
@@ -487,7 +498,10 @@ mod tests {
         let msg = DnsMessage::parse(&bytes).unwrap();
         assert_eq!(msg.questions[0].name, "a.b");
         assert_eq!(msg.answers[0].name, "a.b");
-        assert_eq!(msg.answers[0].data, RecordData::A(Ipv4Addr::new(10, 0, 0, 1)));
+        assert_eq!(
+            msg.answers[0].data,
+            RecordData::A(Ipv4Addr::new(10, 0, 0, 1))
+        );
     }
 
     #[test]

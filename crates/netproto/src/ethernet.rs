@@ -92,7 +92,11 @@ pub struct EthernetHeader {
 impl EthernetHeader {
     /// Creates a header.
     pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType) -> Self {
-        EthernetHeader { dst, src, ethertype }
+        EthernetHeader {
+            dst,
+            src,
+            ethertype,
+        }
     }
 
     /// Appends the 14 header bytes to `buf`.
@@ -114,7 +118,14 @@ impl EthernetHeader {
         let dst = MacAddr::new(bytes[0..6].try_into().expect("slice of 6"));
         let src = MacAddr::new(bytes[6..12].try_into().expect("slice of 6"));
         let ethertype = EtherType::from_u16(u16::from_be_bytes([bytes[12], bytes[13]]));
-        Ok((EthernetHeader { dst, src, ethertype }, &bytes[HEADER_LEN..]))
+        Ok((
+            EthernetHeader {
+                dst,
+                src,
+                ethertype,
+            },
+            &bytes[HEADER_LEN..],
+        ))
     }
 
     /// Encodes into a fresh buffer (convenience for tests).
@@ -149,7 +160,13 @@ mod tests {
     #[test]
     fn parse_rejects_short_input() {
         let err = EthernetHeader::parse(&[0u8; 13]).unwrap_err();
-        assert!(matches!(err, ParseError::Truncated { layer: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            ParseError::Truncated {
+                layer: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]

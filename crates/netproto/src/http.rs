@@ -92,7 +92,11 @@ impl HttpMessage {
     }
 
     /// A POST request with a body.
-    pub fn post(host: impl Into<String>, target: impl Into<String>, body: impl Into<Bytes>) -> Self {
+    pub fn post(
+        host: impl Into<String>,
+        target: impl Into<String>,
+        body: impl Into<Bytes>,
+    ) -> Self {
         let body = body.into();
         HttpMessage::Request {
             method: Method::Post,
@@ -198,7 +202,10 @@ impl HttpMessage {
                 .ok_or_else(|| ParseError::invalid("http", format!("bad header line {line:?}")))?;
             headers.push((name.trim().to_owned(), value.trim().to_owned()));
         }
-        if let Some(rest) = start.strip_prefix("HTTP/1.1 ").or_else(|| start.strip_prefix("HTTP/1.0 ")) {
+        if let Some(rest) = start
+            .strip_prefix("HTTP/1.1 ")
+            .or_else(|| start.strip_prefix("HTTP/1.0 "))
+        {
             let (code, reason) = rest.split_once(' ').unwrap_or((rest, ""));
             let status = code
                 .parse()
@@ -219,7 +226,10 @@ impl HttpMessage {
                     headers,
                     body,
                 }),
-                _ => Err(ParseError::invalid("http", format!("bad start line {start:?}"))),
+                _ => Err(ParseError::invalid(
+                    "http",
+                    format!("bad start line {start:?}"),
+                )),
             }
         }
     }

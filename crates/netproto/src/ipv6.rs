@@ -136,7 +136,11 @@ impl Ipv6Header {
         if self.hop_by_hop.is_empty() {
             return 0;
         }
-        let opts: usize = self.hop_by_hop.iter().map(HopByHopOption::encoded_len).sum();
+        let opts: usize = self
+            .hop_by_hop
+            .iter()
+            .map(HopByHopOption::encoded_len)
+            .sum();
         // 2 fixed bytes + options, rounded up to a multiple of 8.
         (2 + opts).div_ceil(8) * 8
     }
@@ -153,7 +157,11 @@ impl Ipv6Header {
         let first = 0x6000_0000 | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xfffff);
         buf.put_u32(first);
         buf.put_u16((hbh_len + payload_len) as u16);
-        buf.put_u8(if hbh_len > 0 { HOP_BY_HOP } else { self.protocol.to_u8() });
+        buf.put_u8(if hbh_len > 0 {
+            HOP_BY_HOP
+        } else {
+            self.protocol.to_u8()
+        });
         buf.put_u8(self.hop_limit);
         buf.put_slice(&self.src.octets());
         buf.put_slice(&self.dst.octets());
@@ -184,7 +192,10 @@ impl Ipv6Header {
         }
         let first = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
         if first >> 28 != 6 {
-            return Err(ParseError::invalid("ipv6", format!("version {}", first >> 28)));
+            return Err(ParseError::invalid(
+                "ipv6",
+                format!("version {}", first >> 28),
+            ));
         }
         let payload_len = u16::from_be_bytes([bytes[4], bytes[5]]) as usize;
         let mut next_header = bytes[6];
@@ -198,12 +209,20 @@ impl Ipv6Header {
         let mut hop_by_hop = Vec::new();
         if next_header == HOP_BY_HOP {
             if bytes.len() < offset + 2 {
-                return Err(ParseError::truncated("ipv6 hop-by-hop", offset + 2, bytes.len()));
+                return Err(ParseError::truncated(
+                    "ipv6 hop-by-hop",
+                    offset + 2,
+                    bytes.len(),
+                ));
             }
             next_header = bytes[offset];
             let ext_len = (bytes[offset + 1] as usize + 1) * 8;
             if bytes.len() < offset + ext_len {
-                return Err(ParseError::truncated("ipv6 hop-by-hop", offset + ext_len, bytes.len()));
+                return Err(ParseError::truncated(
+                    "ipv6 hop-by-hop",
+                    offset + ext_len,
+                    bytes.len(),
+                ));
             }
             hop_by_hop = parse_hbh_options(&bytes[offset + 2..offset + ext_len])?;
             offset += ext_len;

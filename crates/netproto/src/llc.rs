@@ -47,7 +47,11 @@ pub struct LlcHeader {
 impl LlcHeader {
     /// Creates an LLC header.
     pub fn new(dsap: u8, ssap: u8, control: u8) -> Self {
-        LlcHeader { dsap, ssap, control }
+        LlcHeader {
+            dsap,
+            ssap,
+            control,
+        }
     }
 
     /// An unnumbered-information header for the given SAP on both sides.

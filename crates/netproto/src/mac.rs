@@ -18,7 +18,9 @@ use crate::ParseError;
 /// assert_eq!(mac.oui(), [0x13, 0x73, 0x74]);
 /// assert!(!mac.is_broadcast());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct MacAddr([u8; 6]);
 
 impl MacAddr {
@@ -110,7 +112,10 @@ impl FromStr for MacAddr {
             s.split('-').collect()
         };
         if parts.len() != 6 {
-            return Err(ParseError::invalid("mac", format!("expected 6 octets, got {}", parts.len())));
+            return Err(ParseError::invalid(
+                "mac",
+                format!("expected 6 octets, got {}", parts.len()),
+            ));
         }
         let mut octets = [0u8; 6];
         for (i, part) in parts.iter().enumerate() {

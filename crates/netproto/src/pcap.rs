@@ -199,7 +199,11 @@ mod tests {
         vec![
             Packet::eapol_key(Timestamp::from_millis(1), mac, MacAddr::ZERO, 2),
             Packet::dhcp_discover(mac, 7, 150_000),
-            Packet::arp_probe(Timestamp::from_millis(200), mac, "10.0.0.5".parse().unwrap()),
+            Packet::arp_probe(
+                Timestamp::from_millis(200),
+                mac,
+                "10.0.0.5".parse().unwrap(),
+            ),
         ]
     }
 
@@ -260,7 +264,10 @@ mod tests {
         writer.finish().unwrap();
         buf.truncate(buf.len() - 3);
         let mut reader = PcapReader::new(buf.as_slice()).unwrap();
-        assert!(matches!(reader.read_packet().unwrap_err(), ParseError::Io(_)));
+        assert!(matches!(
+            reader.read_packet().unwrap_err(),
+            ParseError::Io(_)
+        ));
     }
 
     #[test]

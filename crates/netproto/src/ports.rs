@@ -43,8 +43,7 @@ mod tests {
     #[test]
     fn ranges_partition_port_space() {
         for port in [0u16, 80, 1023, 1024, 5353, 49151, 49152, 65535] {
-            let classes =
-                [is_well_known(port), is_registered(port), is_dynamic(port)];
+            let classes = [is_well_known(port), is_registered(port), is_dynamic(port)];
             assert_eq!(
                 classes.iter().filter(|&&c| c).count(),
                 1,

@@ -58,11 +58,17 @@ mod tests {
 
     #[test]
     fn notify_is_alive() {
-        let msg = notify_alive("urn:Belkin:device:insight:1", "http://10.0.0.5:49153/setup.xml");
+        let msg = notify_alive(
+            "urn:Belkin:device:insight:1",
+            "http://10.0.0.5:49153/setup.xml",
+        );
         assert_eq!(msg.header("NTS"), Some("ssdp:alive"));
         assert!(matches!(
             msg,
-            HttpMessage::Request { method: Method::Notify, .. }
+            HttpMessage::Request {
+                method: Method::Notify,
+                ..
+            }
         ));
     }
 }

@@ -168,7 +168,10 @@ impl TcpHeader {
         }
         let data_offset = (bytes[12] >> 4) as usize * 4;
         if data_offset < MIN_HEADER_LEN {
-            return Err(ParseError::invalid("tcp", format!("data offset {data_offset}")));
+            return Err(ParseError::invalid(
+                "tcp",
+                format!("data offset {data_offset}"),
+            ));
         }
         if bytes.len() < data_offset {
             return Err(ParseError::truncated("tcp", data_offset, bytes.len()));

@@ -48,24 +48,35 @@ fn app_payload_strategy() -> impl Strategy<Value = (AppPayload, u16, u16)> {
             sport,
             80
         )),
-        (1usize..400, 49160u16..65000)
-            .prop_map(|(len, sport)| (AppPayload::Tls(TlsRecord::client_hello(len)), sport, 443)),
+        (1usize..400, 49160u16..65000).prop_map(|(len, sport)| (
+            AppPayload::Tls(TlsRecord::client_hello(len)),
+            sport,
+            443
+        )),
         any::<u64>().prop_map(|ts| (AppPayload::Ntp(NtpPacket::client_request(ts)), 123, 123)),
         // Raw payloads must not be mistakable for a TLS record: keep the
         // first byte outside the TLS content-type range and use neutral
         // ports.
-        (proptest::collection::vec(any::<u8>(), 1..200), 20000u16..40000).prop_map(
-            |(mut data, port)| {
+        (
+            proptest::collection::vec(any::<u8>(), 1..200),
+            20000u16..40000
+        )
+            .prop_map(|(mut data, port)| {
                 data[0] |= 0x80;
                 (AppPayload::Raw(data.into()), port, port + 1)
-            }
-        ),
+            }),
         (20000u16..40000).prop_map(|port| (AppPayload::Empty, port, port + 1)),
     ]
 }
 
 fn packet_strategy() -> impl Strategy<Value = Packet> {
-    let arp = (mac_strategy(), mac_strategy(), ipv4_strategy(), ipv4_strategy(), any::<u64>())
+    let arp = (
+        mac_strategy(),
+        mac_strategy(),
+        ipv4_strategy(),
+        ipv4_strategy(),
+        any::<u64>(),
+    )
         .prop_map(|(src, dst, sip, tip, ts)| {
             Packet::new(
                 Timestamp::from_micros(ts % 1_000_000_000),
@@ -74,16 +85,15 @@ fn packet_strategy() -> impl Strategy<Value = Packet> {
                 PacketBody::Arp(ArpPacket::request(src, sip, tip)),
             )
         });
-    let eapol = (mac_strategy(), mac_strategy(), 1u8..=4, any::<u64>()).prop_map(
-        |(src, dst, n, ts)| {
+    let eapol =
+        (mac_strategy(), mac_strategy(), 1u8..=4, any::<u64>()).prop_map(|(src, dst, n, ts)| {
             Packet::new(
                 Timestamp::from_micros(ts % 1_000_000_000),
                 src,
                 dst,
                 PacketBody::Eapol(EapolPacket::key_handshake(n)),
             )
-        },
-    );
+        });
     let udp = (
         mac_strategy(),
         mac_strategy(),

@@ -173,7 +173,10 @@ mod tests {
         cache.insert(EnforcementRule::strict(mac(1)));
         let old = cache.insert(EnforcementRule::trusted(mac(1)));
         assert_eq!(old.unwrap().level, crate::IsolationLevel::Strict);
-        assert_eq!(cache.get(mac(1)).unwrap().level, crate::IsolationLevel::Trusted);
+        assert_eq!(
+            cache.get(mac(1)).unwrap().level,
+            crate::IsolationLevel::Trusted
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -188,7 +191,10 @@ mod tests {
             deltas.push(now - previous);
             previous = now;
         }
-        assert!(deltas.windows(2).all(|w| w[0] == w[1]), "constant per-rule cost");
+        assert!(
+            deltas.windows(2).all(|w| w[0] == w[1]),
+            "constant per-rule cost"
+        );
         assert!(previous > 0);
     }
 

@@ -215,7 +215,9 @@ mod tests {
     #[test]
     fn trusted_reaches_internet_and_trusted_devices() {
         let mut m = module();
-        assert!(m.decide(mac(1), Destination::Internet("8.8.8.8".parse().unwrap())).is_allow());
+        assert!(m
+            .decide(mac(1), Destination::Internet("8.8.8.8".parse().unwrap()))
+            .is_allow());
         assert!(m.decide(mac(1), Destination::Device(mac(1))).is_allow());
     }
 
@@ -243,7 +245,10 @@ mod tests {
     fn restricted_reaches_only_whitelisted_endpoints() {
         let mut m = module();
         assert!(m
-            .decide(mac(3), Destination::Internet("52.29.100.7".parse().unwrap()))
+            .decide(
+                mac(3),
+                Destination::Internet("52.29.100.7".parse().unwrap())
+            )
             .is_allow());
         assert_eq!(
             m.decide(mac(3), Destination::Internet("8.8.8.8".parse().unwrap())),
@@ -343,8 +348,12 @@ mod tests {
     #[test]
     fn rule_replacement_changes_verdict() {
         let mut m = module();
-        assert!(!m.decide(mac(2), Destination::Internet("1.1.1.1".parse().unwrap())).is_allow());
+        assert!(!m
+            .decide(mac(2), Destination::Internet("1.1.1.1".parse().unwrap()))
+            .is_allow());
         m.install_rule(EnforcementRule::trusted(mac(2)));
-        assert!(m.decide(mac(2), Destination::Internet("1.1.1.1".parse().unwrap())).is_allow());
+        assert!(m
+            .decide(mac(2), Destination::Internet("1.1.1.1".parse().unwrap()))
+            .is_allow());
     }
 }

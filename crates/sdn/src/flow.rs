@@ -161,10 +161,7 @@ mod tests {
         let late = packet(2, 30_000_000);
         table.install(FlowKey::of(&early), FlowAction::Forward, early.timestamp);
         table.install(FlowKey::of(&late), FlowAction::Forward, late.timestamp);
-        let expired = table.expire_idle(
-            Timestamp::from_secs(40),
-            Duration::from_secs(20),
-        );
+        let expired = table.expire_idle(Timestamp::from_secs(40), Duration::from_secs(20));
         assert_eq!(expired, 1);
         assert_eq!(table.len(), 1);
         assert!(table.action(&FlowKey::of(&late)).is_some());

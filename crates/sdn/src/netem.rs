@@ -232,8 +232,7 @@ mod tests {
         let d1 = lab.host("D1").unwrap();
         let d2 = lab.host("D2").unwrap();
         let sample = |seed| {
-            GatewayEmulator::new(seed)
-                .measure_latency(d1, d2, PathKind::DeviceToDevice, true, 5)
+            GatewayEmulator::new(seed).measure_latency(d1, d2, PathKind::DeviceToDevice, true, 5)
         };
         assert_eq!(sample(9), sample(9));
         assert_ne!(sample(9), sample(10));

@@ -51,9 +51,18 @@ mod tests {
 
     #[test]
     fn levels_map_to_overlays_per_fig3() {
-        assert_eq!(Overlay::for_level(IsolationLevel::Strict), Overlay::Untrusted);
-        assert_eq!(Overlay::for_level(IsolationLevel::Restricted), Overlay::Untrusted);
-        assert_eq!(Overlay::for_level(IsolationLevel::Trusted), Overlay::Trusted);
+        assert_eq!(
+            Overlay::for_level(IsolationLevel::Strict),
+            Overlay::Untrusted
+        );
+        assert_eq!(
+            Overlay::for_level(IsolationLevel::Restricted),
+            Overlay::Untrusted
+        );
+        assert_eq!(
+            Overlay::for_level(IsolationLevel::Trusted),
+            Overlay::Trusted
+        );
     }
 
     #[test]

@@ -226,7 +226,10 @@ mod tests {
         assert!(rule.permits_remote_port(Some(443)));
         assert!(rule.permits_remote_port(Some(8883)));
         assert!(!rule.permits_remote_port(Some(23)));
-        assert!(!rule.permits_remote_port(None), "portless flows blocked under a port filter");
+        assert!(
+            !rule.permits_remote_port(None),
+            "portless flows blocked under a port filter"
+        );
         let unfiltered = EnforcementRule::restricted(mac(), [cloud]);
         assert!(unfiltered.permits_remote_port(Some(23)));
         assert!(unfiltered.permits_remote_port(None));

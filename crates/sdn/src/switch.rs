@@ -65,7 +65,11 @@ impl OvsSwitch {
     /// Processes one packet: flow-table hit applies the cached action;
     /// a miss raises a packet-in to `controller`, installs the resulting
     /// flow, and applies it.
-    pub fn process(&mut self, packet: &Packet, controller: &mut EnforcementModule) -> SwitchDecision {
+    pub fn process(
+        &mut self,
+        packet: &Packet,
+        controller: &mut EnforcementModule,
+    ) -> SwitchDecision {
         self.processed += 1;
         if !self.filtering {
             return SwitchDecision {
@@ -85,7 +89,8 @@ impl OvsSwitch {
             Verdict::Allow => FlowAction::Forward,
             Verdict::Deny(_) => FlowAction::Drop,
         };
-        self.table.install(FlowKey::of(packet), action, packet.timestamp);
+        self.table
+            .install(FlowKey::of(packet), action, packet.timestamp);
         self.table.apply(packet);
         SwitchDecision {
             action,

@@ -44,7 +44,10 @@ fn main() {
         .collect();
 
     let mut module = EnforcementModule::new();
-    println!("migrating {} legacy devices (PSK policy: retain)…\n", legacy.len());
+    println!(
+        "migrating {} legacy devices (PSK policy: retain)…\n",
+        legacy.len()
+    );
     let records = migrate(&service, PskPolicy::Retain, &legacy, &mut module);
     for (record, &(_, _, expected)) in records.iter().zip(&fleet) {
         println!(

@@ -19,7 +19,10 @@ fn main() {
     let known: Vec<_> = devices[..26].to_vec();
     let dataset26 = FingerprintDataset::collect(&known, 20, 42);
     let mut bank = ClassifierBank::train(&dataset26, &BankConfig::default());
-    println!("classifier bank trained for {} device-types", bank.n_types());
+    println!(
+        "classifier bank trained for {} device-types",
+        bank.n_types()
+    );
 
     // The kettle ships. A gateway sees its setup traffic.
     let kettle = &devices[26];

@@ -6,14 +6,17 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use iot_sentinel::prelude::*;
 use iot_sentinel::devicesim::{catalog, Testbed};
+use iot_sentinel::prelude::*;
 
 fn main() {
     // 1. Collect the training corpus: 27 device-types x 20 setup runs,
     //    exactly the paper's 540-fingerprint dataset (Sect. VI-A).
     let devices = catalog();
-    println!("collecting 20 setup runs for each of {} device-types…", devices.len());
+    println!(
+        "collecting 20 setup runs for each of {} device-types…",
+        devices.len()
+    );
     let dataset = FingerprintDataset::collect(&devices, 20, 42);
 
     // 2. Train the IoTSSP: one Random Forest per device-type plus the
@@ -35,7 +38,9 @@ fn main() {
     }
 
     // 4. Setup over: fingerprint, identify, assess, enforce.
-    let report = gateway.finalize(new_device.mac).expect("device was monitored");
+    let report = gateway
+        .finalize(new_device.mac)
+        .expect("device was monitored");
     println!("\n{report}");
     println!(
         "enforced isolation level: {}",

@@ -33,27 +33,44 @@ fn main() {
     let mut gadget = DeviceProfile::new("MysteryGadget", [0xde, 0xad, 0x01]);
     gadget.extend_phases([
         Phase::Stp { count: 3 },
-        Phase::Ipv6Bringup { mld_records: 4, router_solicit: true },
-        Phase::UdpRaw { dest: RawDest::Broadcast, port: 31337, sizes: vec![512, 64, 512] },
+        Phase::Ipv6Bringup {
+            mld_records: 4,
+            router_solicit: true,
+        },
+        Phase::UdpRaw {
+            dest: RawDest::Broadcast,
+            port: 31337,
+            sizes: vec![512, 64, 512],
+        },
         Phase::Ping { count: 4 },
-        Phase::UdpRaw { dest: RawDest::Gateway, port: 31338, sizes: vec![900, 900] },
+        Phase::UdpRaw {
+            dest: RawDest::Gateway,
+            port: 31338,
+            sizes: vec![900, 900],
+        },
     ]);
     let mystery = testbed.setup_run(&gadget, 0);
-    onboard(&mut gateway, &mystery.packets, mystery.mac, "mystery gadget");
+    onboard(
+        &mut gateway,
+        &mystery.packets,
+        mystery.mac,
+        "mystery gadget",
+    );
 
     // --- Enforcement in action. ---
     println!("\n--- data-plane checks ---");
-    let try_internet = |gateway: &mut SecurityGateway<IoTSecurityService>, mac: MacAddr, who: &str| {
-        let packet = outbound(mac, Ipv4Addr::new(93, 184, 216, 34), 443);
-        let decision = gateway.enforce(&packet);
-        println!(
-            "{who:<16} -> internet: {}",
-            match decision.action {
-                FlowAction::Forward => "forwarded",
-                FlowAction::Drop => "BLOCKED",
-            }
-        );
-    };
+    let try_internet =
+        |gateway: &mut SecurityGateway<IoTSecurityService>, mac: MacAddr, who: &str| {
+            let packet = outbound(mac, Ipv4Addr::new(93, 184, 216, 34), 443);
+            let decision = gateway.enforce(&packet);
+            println!(
+                "{who:<16} -> internet: {}",
+                match decision.action {
+                    FlowAction::Forward => "forwarded",
+                    FlowAction::Drop => "BLOCKED",
+                }
+            );
+        };
     try_internet(&mut gateway, hue.mac, "Hue Bridge");
     try_internet(&mut gateway, cam.mac, "Edimax camera");
     try_internet(&mut gateway, mystery.mac, "mystery gadget");

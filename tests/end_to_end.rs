@@ -48,7 +48,10 @@ fn onboarding_identifies_most_device_types() {
     }
     // The paper's global accuracy is 0.815; with the confusable families a
     // single pass over 27 devices should land well above 0.6.
-    assert!(correct >= 18, "only {correct}/27 devices identified correctly");
+    assert!(
+        correct >= 18,
+        "only {correct}/27 devices identified correctly"
+    );
 }
 
 #[test]
@@ -95,8 +98,14 @@ fn overlays_separate_trusted_from_untrusted_devices() {
         }
         gateway.finalize(trace.mac).expect("monitored");
     }
-    assert_eq!(gateway.enforcement().level_of(hue.mac), IsolationLevel::Trusted);
-    assert_eq!(gateway.enforcement().level_of(cam.mac), IsolationLevel::Restricted);
+    assert_eq!(
+        gateway.enforcement().level_of(hue.mac),
+        IsolationLevel::Trusted
+    );
+    assert_eq!(
+        gateway.enforcement().level_of(cam.mac),
+        IsolationLevel::Restricted
+    );
 
     // Device-to-device traffic across overlays is dropped both ways.
     let probe = Packet::udp_ipv4(
@@ -177,7 +186,11 @@ fn idle_flows_expire_and_rule_cache_can_evict() {
     let evicted = gateway.enforcement_mut().cache_mut().evict_to(0);
     assert_eq!(evicted.len(), 1);
     // With its rule gone the device falls back to the strict default.
-    let blocked = gateway.enforce(&outbound(hue.mac, hue.device_ip, Ipv4Addr::new(52, 99, 0, 1)));
+    let blocked = gateway.enforce(&outbound(
+        hue.mac,
+        hue.device_ip,
+        Ipv4Addr::new(52, 99, 0, 1),
+    ));
     assert_eq!(blocked.action, FlowAction::Drop);
 }
 
@@ -200,11 +213,9 @@ fn port_filter_restricts_protocols_to_vendor_cloud() {
         panic!("expected v4");
     };
     // Refine the installed rule with a port filter.
-    let tightened = iot_sentinel::sdn::EnforcementRule::restricted(
-        cam.mac,
-        whitelist.iter().copied(),
-    )
-    .with_port_filter([443]);
+    let tightened =
+        iot_sentinel::sdn::EnforcementRule::restricted(cam.mac, whitelist.iter().copied())
+            .with_port_filter([443]);
     gateway.enforcement_mut().install_rule(tightened);
 
     let tls = Packet::udp_ipv4(
@@ -243,7 +254,8 @@ fn setup_end_detection_closes_monitoring_window() {
     }
     // A keep-alive a minute later ends the setup phase automatically.
     let mut keepalive = trace.packets[0].clone();
-    keepalive.timestamp = trace.packets.last().unwrap().timestamp + std::time::Duration::from_secs(90);
+    keepalive.timestamp =
+        trace.packets.last().unwrap().timestamp + std::time::Duration::from_secs(90);
     let report = gateway.observe(&keepalive).expect("auto-finalize");
     assert_eq!(report.mac, trace.mac);
     assert_eq!(report.setup_packets, trace.packets.len());

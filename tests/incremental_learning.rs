@@ -78,8 +78,16 @@ fn truly_novel_traffic_is_flagged_unknown() {
     let mut plc = DeviceProfile::new("FactoryPLC", [0xac, 0xde, 0x48]);
     plc.extend_phases([
         Phase::Stp { count: 4 },
-        Phase::UdpRaw { dest: RawDest::Gateway, port: 34964, sizes: vec![1400, 1400, 1400] },
-        Phase::TcpRaw { dest: RawDest::Gateway, port: 102, sizes: vec![1200, 60, 1200] },
+        Phase::UdpRaw {
+            dest: RawDest::Gateway,
+            port: 34964,
+            sizes: vec![1400, 1400, 1400],
+        },
+        Phase::TcpRaw {
+            dest: RawDest::Gateway,
+            port: 102,
+            sizes: vec![1200, 60, 1200],
+        },
         Phase::Ping { count: 5 },
     ]);
     let testbed = Testbed::new(55);

@@ -24,9 +24,9 @@ fn legacy_fleet_lands_in_correct_overlays() {
 
     // (catalog index, rekey support, expected outcome class)
     let fleet = [
-        (4usize, RekeySupport::Wps),  // HueBridge: clean + WPS -> trusted
-        (0, RekeySupport::None),      // Aria: clean, no WPS -> untrusted
-        (8, RekeySupport::Wps),       // EdimaxCam: CVE -> untrusted
+        (4usize, RekeySupport::Wps), // HueBridge: clean + WPS -> trusted
+        (0, RekeySupport::None),     // Aria: clean, no WPS -> untrusted
+        (8, RekeySupport::Wps),      // EdimaxCam: CVE -> untrusted
     ];
     let legacy: Vec<LegacyDevice> = fleet
         .iter()
@@ -43,7 +43,12 @@ fn legacy_fleet_lands_in_correct_overlays() {
     let mut module = EnforcementModule::new();
     let records = migrate(&service, PskPolicy::Retain, &legacy, &mut module);
 
-    assert_eq!(records[0].outcome, MigrationOutcome::MovedToTrusted, "{:?}", records[0]);
+    assert_eq!(
+        records[0].outcome,
+        MigrationOutcome::MovedToTrusted,
+        "{:?}",
+        records[0]
+    );
     assert_eq!(module.overlay_of(legacy[0].mac), Overlay::Trusted);
 
     assert!(

@@ -54,7 +54,9 @@ fn mixed_device_capture_demultiplexes_by_mac() {
     // each device independently.
     let devices = catalog();
     let testbed = Testbed::new(92);
-    let traces: Vec<_> = (0..3).map(|i| testbed.setup_run(&devices[i].profile, 0)).collect();
+    let traces: Vec<_> = (0..3)
+        .map(|i| testbed.setup_run(&devices[i].profile, 0))
+        .collect();
 
     // Interleave and serialize.
     let mut merged: Vec<_> = traces.iter().flat_map(|t| t.packets.clone()).collect();

@@ -1,0 +1,98 @@
+//! Offline stand-in for `crossbeam`, covering `crossbeam::thread::scope`.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this
+//! crate is a thin adapter that exposes the crossbeam 0.8 calling
+//! convention (`scope` returns a `Result`, spawned closures receive a
+//! `&Scope` argument) over `std::thread::scope`.
+
+/// Scoped-thread support mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope in which threads borrowing local data can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives this scope so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// enclosing stack frame. All spawned threads are joined before this
+    /// returns. Unlike `std`, panics in unjoined threads are reported via
+    /// the returned `Result` to match crossbeam's signature; with std's
+    /// auto-join underneath, a child panic propagates out of the scope,
+    /// so in practice `Ok` is returned whenever `f` completes.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        let result = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&x| {
+                    let counter = &counter;
+                    s.spawn(move |_| {
+                        counter.fetch_add(x, Ordering::Relaxed);
+                        x * 10
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+        assert_eq!(result, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 7);
+    }
+}
