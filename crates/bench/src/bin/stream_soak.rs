@@ -1,0 +1,133 @@
+//! Soak test of the streaming onboarding runtime: many interleaved
+//! device setups pushed through `sentinel-stream` as fast as the
+//! hardware allows, reporting packets/sec, peak resident sessions and
+//! shed count as BENCH JSON.
+//!
+//! ```text
+//! cargo run --release -p sentinel-bench --bin stream_soak
+//! cargo run --release -p sentinel-bench --bin stream_soak -- --smoke
+//! cargo run --release -p sentinel-bench --bin stream_soak -- \
+//!     --sessions 4000 --capacity 256 --threads 8 --json results/bench_stream.json
+//! ```
+//!
+//! The workload is deliberately oversubscribed by default: more devices
+//! are mid-setup than the bounded session table admits, so the LRU
+//! overflow policy is exercised and the reported peak stays pinned at
+//! the configured capacity.
+
+use std::time::{Duration, Instant};
+
+use sentinel_bench::cli::Args;
+use sentinel_bench::tables;
+use sentinel_core::{
+    BankConfig, FingerprintDataset, IdentifierConfig, IoTSecurityService, ServiceConfig,
+};
+use sentinel_devicesim::{catalog, interleave, Testbed};
+use sentinel_ml::ForestConfig;
+use sentinel_netproto::stream::MemorySource;
+use sentinel_stream::{StreamConfig, StreamRuntime};
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.switch("smoke");
+    let sessions: usize = args.get("sessions", if smoke { 150 } else { 2000 });
+    let train_runs: u64 = args.get("train-runs", if smoke { 5 } else { 10 });
+    let trees: usize = args.get("trees", 25);
+    let seed: u64 = args.get("seed", 42);
+    let threads: usize = args.get("threads", 1);
+    let capacity: usize = args.get("capacity", 512);
+    let stagger_us: u64 = args.get("stagger-us", 1500);
+
+    print!(
+        "{}",
+        tables::banner("Streaming onboarding soak — interleaved multi-device workload")
+    );
+    println!(
+        "{sessions} concurrent setups (stagger {stagger_us} µs), table capacity {capacity}, \
+         {threads} thread(s)\n"
+    );
+
+    // --- Train the IoTSSP (outside the measured window). ---
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, train_runs, seed);
+    let service_config = ServiceConfig {
+        identifier: IdentifierConfig {
+            bank: BankConfig {
+                forest: ForestConfig::default().with_trees(trees),
+                ..BankConfig::default()
+            },
+            ..IdentifierConfig::default()
+        },
+    };
+    let service = IoTSecurityService::train(&dataset, &service_config);
+
+    // --- Generate the interleaved workload (outside the window). ---
+    let testbed = Testbed::new(seed ^ 0x5041);
+    let traces: Vec<_> = (0..sessions)
+        .map(|i| {
+            let device = &devices[i % devices.len()];
+            testbed.setup_run(&device.profile, 10_000 + (i / devices.len()) as u64)
+        })
+        .collect();
+    let packets = interleave(&traces, Duration::from_micros(stagger_us));
+    let total_packets = packets.len();
+
+    // --- The measured streaming window. ---
+    let config = StreamConfig {
+        max_sessions: capacity,
+        threads,
+        ..StreamConfig::default()
+    };
+    let effective_capacity = config.effective_capacity();
+    let mut runtime = StreamRuntime::with_config(service, config);
+    let start = Instant::now();
+    let reports = runtime
+        .run(MemorySource::new(packets))
+        .expect("in-memory source cannot fail");
+    let elapsed = start.elapsed();
+
+    let stats = runtime.stats().clone();
+    let pps = total_packets as f64 / elapsed.as_secs_f64();
+    assert!(
+        stats.peak_resident_sessions <= effective_capacity,
+        "peak {} exceeded the capacity bound {}",
+        stats.peak_resident_sessions,
+        effective_capacity
+    );
+
+    println!(
+        "streamed {total_packets} packets in {:.1} ms",
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!("throughput          {:.0} packets/sec", pps);
+    println!(
+        "sessions            {} opened, {} completed, {} shed",
+        stats.sessions_opened,
+        stats.sessions_completed(),
+        stats.sessions_evicted
+    );
+    println!(
+        "peak resident       {} (bound {effective_capacity})",
+        stats.peak_resident_sessions
+    );
+    println!("onboardings         {} reports ({})", reports.len(), stats);
+
+    if let Some(path) = args.get_str("json") {
+        let stats_json = serde_json::to_string(&stats).expect("stats serialize");
+        let json = format!(
+            "{{\n  \"bench\": \"stream_soak\",\n  \"sessions\": {sessions},\n  \
+             \"train_runs\": {train_runs},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
+             \"capacity\": {capacity},\n  \"effective_capacity\": {effective_capacity},\n  \
+             \"stagger_us\": {stagger_us},\n  \"packets\": {total_packets},\n  \
+             \"elapsed_ms\": {:.3},\n  \"packets_per_sec\": {:.0},\n  \
+             \"peak_resident_sessions\": {},\n  \"sessions_evicted\": {},\n  \
+             \"stats\": {stats_json}\n}}\n",
+            elapsed.as_secs_f64() * 1e3,
+            pps,
+            stats.peak_resident_sessions,
+            stats.sessions_evicted,
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        println!("\nBENCH JSON written to {path}");
+    }
+}

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use sentinel_fingerprint::setup::SetupDetector;
-use sentinel_fingerprint::{extract, FixedFingerprint};
-use sentinel_netproto::{MacAddr, Packet};
+use sentinel_fingerprint::{FeatureExtractor, FixedFingerprint};
+use sentinel_netproto::{MacAddr, Packet, Timestamp};
 use sentinel_sdn::{EnforcementModule, EnforcementRule, IsolationLevel, OvsSwitch, SwitchDecision};
 
 use crate::report::OnboardingReport;
@@ -22,9 +22,18 @@ pub struct GatewayConfig {
     pub ignored: Vec<MacAddr>,
 }
 
+/// Bounded per-device monitoring state.
+///
+/// Packets are folded straight into the incremental feature extractor,
+/// so the gateway never retains raw packets: what grows is the feature
+/// matrix, and only up to the detector's identification window (the
+/// paper's first-*n* packet limit) because `observe` finalizes at
+/// `max_packets`. A chatty device costs the same memory as a quiet one.
 #[derive(Debug)]
 struct MonitorState {
-    packets: Vec<Packet>,
+    extractor: FeatureExtractor,
+    packets: usize,
+    last_seen: Timestamp,
 }
 
 /// The Security Gateway: monitors new devices, extracts their
@@ -71,20 +80,23 @@ impl<S: SecurityService> SecurityGateway<S> {
             return None;
         }
         let monitor = self.monitors.entry(mac).or_insert_with(|| MonitorState {
-            packets: Vec::new(),
+            extractor: FeatureExtractor::new(),
+            packets: 0,
+            last_seen: packet.timestamp,
         });
         // Setup-end detection: a long transmission gap after enough
         // packets closes the setup phase; the new packet belongs to the
         // device's steady-state traffic.
-        if monitor.packets.len() >= self.config.detector.min_packets {
-            let last = monitor.packets.last().expect("nonempty").timestamp;
-            if packet.timestamp.saturating_since(last) >= self.config.detector.idle_gap {
-                let report = self.finalize(mac);
-                return report;
-            }
+        if monitor.packets >= self.config.detector.min_packets
+            && packet.timestamp.saturating_since(monitor.last_seen) >= self.config.detector.idle_gap
+        {
+            let report = self.finalize(mac);
+            return report;
         }
-        monitor.packets.push(packet.clone());
-        if monitor.packets.len() >= self.config.detector.max_packets {
+        monitor.extractor.push(packet);
+        monitor.packets += 1;
+        monitor.last_seen = packet.timestamp;
+        if monitor.packets >= self.config.detector.max_packets {
             return self.finalize(mac);
         }
         None
@@ -95,7 +107,8 @@ impl<S: SecurityService> SecurityGateway<S> {
     /// the MAC was not being monitored.
     pub fn finalize(&mut self, mac: MacAddr) -> Option<OnboardingReport> {
         let monitor = self.monitors.remove(&mac)?;
-        let full = extract(&monitor.packets);
+        let setup_packets = monitor.packets;
+        let full = monitor.extractor.finish();
         let fixed = FixedFingerprint::from_fingerprint(&full);
         let response = self.service.assess(&full, &fixed);
         let rule = match response.isolation {
@@ -108,7 +121,7 @@ impl<S: SecurityService> SecurityGateway<S> {
         self.module.install_rule(rule);
         let report = OnboardingReport {
             mac,
-            setup_packets: monitor.packets.len(),
+            setup_packets,
             response,
         };
         self.onboarded.insert(mac, report.clone());
@@ -132,9 +145,10 @@ impl<S: SecurityService> SecurityGateway<S> {
         self.monitors.keys().copied()
     }
 
-    /// Number of packets buffered for a monitored device.
+    /// Number of setup packets consumed for a monitored device (the
+    /// packets themselves are not retained, only their features).
     pub fn monitored_packets(&self, mac: MacAddr) -> usize {
-        self.monitors.get(&mac).map_or(0, |m| m.packets.len())
+        self.monitors.get(&mac).map_or(0, |m| m.packets)
     }
 
     /// The enforcement module (rule cache, overlays).

@@ -23,6 +23,14 @@ pub trait SecurityService {
     fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse;
 }
 
+/// One trained service can back several gateways (or a gateway and a
+/// streaming runtime) at once by handing each a shared reference.
+impl<S: SecurityService + ?Sized> SecurityService for &S {
+    fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse {
+        (**self).assess(full, fixed)
+    }
+}
+
 /// Configuration of an [`IoTSecurityService`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ServiceConfig {

@@ -34,12 +34,14 @@
 
 mod catalog;
 mod generator;
+mod interleave;
 mod phases;
 mod profile;
 mod testbed;
 
 pub use catalog::{catalog, confusable_groups, Connectivity, DeviceInfo, DeviceModel};
 pub use generator::{SetupTrace, TraceGenerator};
+pub use interleave::{interleave, interleave_at};
 pub use phases::{Phase, RawDest};
 pub use profile::{DeviceProfile, Endpoint};
 pub use testbed::Testbed;

@@ -182,6 +182,66 @@ proptest! {
     }
 
     #[test]
+    fn incremental_push_matches_independent_counter_model(dsts in proptest::collection::vec(proptest::option::of(0u8..6), 0..40)) {
+        use sentinel_fingerprint::FeatureExtractor;
+        use sentinel_netproto::{AppPayload, Timestamp};
+        use std::net::Ipv4Addr;
+
+        let mac = MacAddr::new([7, 7, 7, 7, 7, 7]);
+        let packets: Vec<Packet> = dsts
+            .iter()
+            .enumerate()
+            .map(|(i, dst)| match dst {
+                // `None` steps have no IP destination and must not
+                // consume a counter slot.
+                None => Packet::arp_probe(
+                    Timestamp::from_micros(i as u64 * 1000),
+                    mac,
+                    Ipv4Addr::new(10, 0, 0, 1),
+                ),
+                Some(d) => Packet::udp_ipv4(
+                    Timestamp::from_micros(i as u64 * 1000),
+                    mac,
+                    MacAddr::ZERO,
+                    Ipv4Addr::new(192, 168, 0, 50),
+                    Ipv4Addr::new(10, 0, 0, *d),
+                    50000,
+                    53,
+                    AppPayload::Empty,
+                ),
+            })
+            .collect();
+
+        // Independent model of the Table I destination-IP counter: the
+        // k-th distinct destination (1-based, in first-appearance order)
+        // maps to k; packets without an IP destination map to 0.
+        let mut order: Vec<u8> = Vec::new();
+        let expected: Vec<u32> = dsts
+            .iter()
+            .map(|dst| match dst {
+                None => 0,
+                Some(d) => match order.iter().position(|seen| seen == d) {
+                    Some(k) => k as u32 + 1,
+                    None => {
+                        order.push(*d);
+                        order.len() as u32
+                    }
+                },
+            })
+            .collect();
+
+        // Incremental push must reproduce the model counter per packet…
+        let mut extractor = FeatureExtractor::new();
+        let streamed: Vec<u32> = packets
+            .iter()
+            .map(|p| extractor.push(p).dst_ip_counter)
+            .collect();
+        prop_assert_eq!(&streamed, &expected);
+        // …and finalize to exactly the batch fingerprint.
+        prop_assert_eq!(extractor.finish(), extract(&packets));
+    }
+
+    #[test]
     fn extraction_is_deterministic(seed in any::<u64>()) {
         // Same packets -> same fingerprint, regardless of how often we run.
         let mac = MacAddr::new([1, 2, 3, 4, 5, 6]);

@@ -54,6 +54,7 @@ pub mod packet;
 pub mod pcap;
 pub mod ports;
 pub mod ssdp;
+pub mod stream;
 pub mod tcp;
 mod timestamp;
 pub mod tls;

@@ -1,0 +1,149 @@
+//! Packet-stream abstraction for continuous capture ingestion.
+//!
+//! The batch pipeline reads a whole capture into a `Vec<Packet>` before
+//! doing anything with it. Streaming consumers (the `sentinel-stream`
+//! onboarding runtime) instead pull packets one at a time through
+//! [`PacketSource`], so a multi-gigabyte capture — or a live tap — never
+//! has to be resident in memory. [`PcapReader`](crate::pcap::PcapReader)
+//! implements the trait directly, and [`MemorySource`] adapts an
+//! in-memory packet list (e.g. a simulated interleaved workload).
+
+use std::io::Read;
+
+use crate::pcap::PcapReader;
+use crate::{Packet, ParseError};
+
+/// A pull-based source of capture packets in timestamp order.
+///
+/// Implementations yield `Ok(None)` exactly once, at end of stream;
+/// callers must not poll past it.
+pub trait PacketSource {
+    /// Produces the next packet, or `None` when the stream is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the underlying capture is truncated
+    /// or malformed.
+    fn next_packet(&mut self) -> Result<Option<Packet>, ParseError>;
+
+    /// Drains up to `max` packets into `buf` (appended), returning how
+    /// many were read. A return of `0` with an empty error means end of
+    /// stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ParseError`] from [`Self::next_packet`];
+    /// packets read before the error remain in `buf`.
+    fn fill_batch(&mut self, buf: &mut Vec<Packet>, max: usize) -> Result<usize, ParseError> {
+        let mut read = 0;
+        while read < max {
+            match self.next_packet()? {
+                Some(packet) => {
+                    buf.push(packet);
+                    read += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(read)
+    }
+}
+
+impl<R: Read> PacketSource for PcapReader<R> {
+    fn next_packet(&mut self) -> Result<Option<Packet>, ParseError> {
+        self.read_packet()
+    }
+}
+
+impl<S: PacketSource + ?Sized> PacketSource for &mut S {
+    fn next_packet(&mut self) -> Result<Option<Packet>, ParseError> {
+        (**self).next_packet()
+    }
+}
+
+/// A [`PacketSource`] over an in-memory packet list, in order.
+///
+/// ```
+/// use sentinel_netproto::stream::{MemorySource, PacketSource};
+/// use sentinel_netproto::{MacAddr, Packet};
+///
+/// let mut source = MemorySource::new(vec![Packet::dhcp_discover(MacAddr::ZERO, 1, 0)]);
+/// assert!(source.next_packet().unwrap().is_some());
+/// assert!(source.next_packet().unwrap().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySource {
+    packets: std::vec::IntoIter<Packet>,
+}
+
+impl MemorySource {
+    /// Creates a source that yields `packets` front to back.
+    pub fn new(packets: Vec<Packet>) -> Self {
+        MemorySource {
+            packets: packets.into_iter(),
+        }
+    }
+
+    /// Packets not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.packets.len()
+    }
+}
+
+impl PacketSource for MemorySource {
+    fn next_packet(&mut self) -> Result<Option<Packet>, ParseError> {
+        Ok(self.packets.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::PcapWriter;
+    use crate::MacAddr;
+
+    fn sample() -> Vec<Packet> {
+        let mac = MacAddr::new([9, 8, 7, 6, 5, 4]);
+        (0..5)
+            .map(|i| Packet::dhcp_discover(mac, i, u64::from(i) * 1000))
+            .collect()
+    }
+
+    #[test]
+    fn memory_source_yields_in_order_then_none() {
+        let packets = sample();
+        let mut source = MemorySource::new(packets.clone());
+        for expected in &packets {
+            assert_eq!(source.next_packet().unwrap().as_ref(), Some(expected));
+        }
+        assert!(source.next_packet().unwrap().is_none());
+        assert_eq!(source.remaining(), 0);
+    }
+
+    #[test]
+    fn pcap_reader_is_a_source() {
+        let packets = sample();
+        let mut buf = Vec::new();
+        let mut writer = PcapWriter::new(&mut buf).unwrap();
+        for packet in &packets {
+            writer.write_packet(packet).unwrap();
+        }
+        writer.finish().unwrap();
+        let mut reader = PcapReader::new(buf.as_slice()).unwrap();
+        let mut out = Vec::new();
+        while let Some(packet) = reader.next_packet().unwrap() {
+            out.push(packet);
+        }
+        assert_eq!(out, packets);
+    }
+
+    #[test]
+    fn fill_batch_respects_max_and_eof() {
+        let mut source = MemorySource::new(sample());
+        let mut buf = Vec::new();
+        assert_eq!(source.fill_batch(&mut buf, 3).unwrap(), 3);
+        assert_eq!(source.fill_batch(&mut buf, 3).unwrap(), 2);
+        assert_eq!(source.fill_batch(&mut buf, 3).unwrap(), 0);
+        assert_eq!(buf.len(), 5);
+    }
+}

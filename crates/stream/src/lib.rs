@@ -1,0 +1,64 @@
+//! `sentinel-stream`: bounded-memory streaming onboarding for
+//! interleaved multi-device traffic.
+//!
+//! The paper's Security Gateway (Sect. III-A, V) onboards devices one at
+//! a time from a buffered capture. A production gateway instead watches
+//! one continuous, interleaved stream in which hundreds of devices may
+//! be mid-setup simultaneously. This crate provides that runtime:
+//!
+//! * [`Session`] — per-device setup monitoring that feeds packets
+//!   straight into the incremental feature extractor, so raw packets are
+//!   never retained; per-session memory is bounded by the detector's
+//!   packet cap (plus an optional byte cap).
+//! * [`SessionTable`] — a capacity-bounded table with deterministic
+//!   LRU shedding as the explicit overflow policy.
+//! * [`StreamRuntime`] — demultiplexes a [`PacketSource`] by source MAC
+//!   across fixed virtual shards, runs setup-end detection (idle gap,
+//!   packet cap, byte cap), and drives each completed setup through the
+//!   same assess → enforce path as the batch gateway. Decisions are
+//!   bit-identical to onboarding each device alone, at any thread count
+//!   and batch size.
+//! * [`StreamStats`] — the counters an operator needs: throughput,
+//!   session lifecycle, shedding, peak concurrency, outcome mix.
+//!
+//! # Example
+//!
+//! ```
+//! use sentinel_core::{FingerprintDataset, IoTSecurityService, ServiceConfig};
+//! use sentinel_devicesim::{catalog, interleave, Testbed};
+//! use sentinel_netproto::stream::MemorySource;
+//! use sentinel_stream::{StreamConfig, StreamRuntime};
+//! use std::time::Duration;
+//!
+//! // Train the IoTSSP once.
+//! let devices: Vec<_> = catalog().into_iter().take(3).collect();
+//! let dataset = FingerprintDataset::collect(&devices, 8, 42);
+//! let service = IoTSecurityService::train(&dataset, &ServiceConfig::default());
+//!
+//! // Five devices set up concurrently on one interface.
+//! let testbed = Testbed::new(7);
+//! let traces: Vec<_> = (0..5)
+//!     .map(|i| testbed.setup_run(&devices[i % 3].profile, 90 + i as u64))
+//!     .collect();
+//! let stream = interleave(&traces, Duration::from_millis(25));
+//!
+//! let mut runtime = StreamRuntime::with_config(service, StreamConfig::default());
+//! let reports = runtime.run(MemorySource::new(stream)).unwrap();
+//! assert_eq!(reports.len(), 5);
+//! assert_eq!(runtime.stats().sessions_completed(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runtime;
+mod session;
+mod stats;
+mod table;
+
+pub use runtime::{StreamConfig, StreamRuntime};
+pub use session::{CompletionReason, Session, SessionEvent};
+pub use stats::StreamStats;
+pub use table::SessionTable;
+
+pub use sentinel_netproto::stream::{MemorySource, PacketSource};

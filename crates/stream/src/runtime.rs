@@ -1,0 +1,620 @@
+//! The sharded streaming onboarding runtime.
+//!
+//! [`StreamRuntime`] consumes one interleaved packet stream carrying
+//! many concurrent device setups, demultiplexes it per source MAC into
+//! bounded [`Session`] state machines, and drives every completed setup
+//! phase through the full assess → enforce path of the batch gateway.
+//!
+//! # Determinism
+//!
+//! Packets are sharded by a fixed FNV hash of the source MAC over
+//! [`StreamConfig::shards`] *virtual* shards — a number independent of
+//! the worker count — and shards are processed with the same
+//! deterministic fork/join ([`sentinel_ml::parallel::map_indexed`]) used
+//! by the training pipeline. All of a device's packets land in one
+//! shard, each shard's state evolves only with its own packet
+//! subsequence, and completions are merged back in global stream order,
+//! so every decision (fingerprint, identification, isolation level,
+//! eviction choice) is bit-identical at any `SENTINEL_THREADS` setting
+//! and for any ingest batch size.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use sentinel_core::{OnboardingReport, Outcome, SecurityService};
+use sentinel_fingerprint::setup::SetupDetector;
+use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
+use sentinel_ml::parallel::{effective_threads, map_indexed};
+use sentinel_netproto::stream::PacketSource;
+use sentinel_netproto::{MacAddr, Packet, ParseError};
+use sentinel_sdn::{EnforcementModule, EnforcementRule, IsolationLevel, OvsSwitch, SwitchDecision};
+
+use crate::session::{CompletionReason, Session, SessionEvent};
+use crate::stats::StreamStats;
+use crate::table::SessionTable;
+
+/// Tuning knobs of the streaming runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Setup-phase end detection (same semantics as the batch gateway).
+    pub detector: SetupDetector,
+    /// Hosts whose traffic is never monitored.
+    pub ignored: Vec<MacAddr>,
+    /// Target bound on concurrently monitored devices across all shards.
+    /// The effective bound is [`StreamConfig::effective_capacity`]
+    /// (rounded up to a whole number of per-shard slots).
+    pub max_sessions: usize,
+    /// Number of virtual shards. Determinism across thread counts only
+    /// requires this to be *fixed*, not related to the worker count;
+    /// workers claim shards dynamically.
+    pub shards: usize,
+    /// Hard per-session wire-byte cap (`u64::MAX` disables it, which
+    /// keeps streaming decisions identical to the batch gateway's).
+    pub session_byte_cap: u64,
+    /// Worker threads: `0` = auto (`SENTINEL_THREADS` or the machine),
+    /// `1` = exact sequential path.
+    pub threads: usize,
+    /// Packets pulled from the source per ingest round. Purely a
+    /// throughput knob: results are identical for any batch size.
+    pub batch_size: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            detector: SetupDetector::default(),
+            ignored: Vec::new(),
+            max_sessions: 4096,
+            shards: 64,
+            session_byte_cap: u64::MAX,
+            threads: 0,
+            batch_size: 1024,
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Concurrent-session slots per shard.
+    pub fn shard_capacity(&self) -> usize {
+        let shards = self.shards.max(1);
+        self.max_sessions.div_ceil(shards).max(1)
+    }
+
+    /// The exact global bound on resident sessions
+    /// (`shard_capacity × shards ≥ max_sessions`).
+    pub fn effective_capacity(&self) -> usize {
+        self.shard_capacity() * self.shards.max(1)
+    }
+}
+
+/// One shard's state: its bounded session table plus the set of MACs it
+/// has already onboarded (whose steady-state traffic is skipped).
+#[derive(Debug)]
+struct Shard {
+    table: SessionTable,
+    onboarded: HashSet<MacAddr>,
+}
+
+/// A finished setup phase, queued for in-order assessment and
+/// enforcement.
+///
+/// Shards only *finalize* sessions (pure fingerprint work); consulting
+/// the security service happens later, in global stream order, because
+/// a real IoTSSP is stateful (its discrimination stage samples reference
+/// fingerprints from a seeded RNG) and its answers must not depend on
+/// shard scheduling.
+struct Completion {
+    /// Stream sequence of the packet that closed the session (for gap
+    /// and cap completions) or of its last absorbed packet (flush).
+    seq: u64,
+    mac: MacAddr,
+    setup_packets: usize,
+    reason: CompletionReason,
+    full: Fingerprint,
+    fixed: FixedFingerprint,
+}
+
+/// Per-shard results of one ingest round.
+#[derive(Default)]
+struct ShardOutcome {
+    completions: Vec<Completion>,
+    opened: u64,
+    evicted: u64,
+    ignored: u64,
+    resident: usize,
+}
+
+impl Shard {
+    fn process(&mut self, items: &[(u64, &Packet)], config: &StreamConfig) -> ShardOutcome {
+        let mut out = ShardOutcome::default();
+        for &(seq, packet) in items {
+            let mac = packet.src_mac();
+            if config.ignored.contains(&mac) || self.onboarded.contains(&mac) {
+                out.ignored += 1;
+                continue;
+            }
+            if !self.table.contains(mac) {
+                if self
+                    .table
+                    .admit(mac, Session::open(seq, packet.timestamp))
+                    .is_some()
+                {
+                    out.evicted += 1;
+                }
+                out.opened += 1;
+            }
+            let session = self.table.get_mut(mac).expect("admitted above");
+            let event = session.offer(packet, seq, &config.detector, config.session_byte_cap);
+            let reason = match event {
+                SessionEvent::Absorbed => continue,
+                SessionEvent::GapComplete => CompletionReason::IdleGap,
+                SessionEvent::CapComplete(reason) => reason,
+            };
+            let session = self.table.remove(mac).expect("was resident");
+            out.completions.push(complete(mac, seq, session, reason));
+            self.onboarded.insert(mac);
+        }
+        out.resident = self.table.len();
+        out
+    }
+
+    fn flush(&mut self) -> ShardOutcome {
+        let mut out = ShardOutcome::default();
+        for (mac, session) in self.table.drain_ordered() {
+            let seq = session.last_seq();
+            out.completions
+                .push(complete(mac, seq, session, CompletionReason::Flush));
+            self.onboarded.insert(mac);
+        }
+        out
+    }
+}
+
+/// Finalizes one session into its fingerprints (`F` and `F'`). Pure —
+/// safe to run inside the parallel shard pass.
+fn complete(mac: MacAddr, seq: u64, session: Session, reason: CompletionReason) -> Completion {
+    let setup_packets = session.packets();
+    let full = session.finish();
+    let fixed = FixedFingerprint::from_fingerprint(&full);
+    Completion {
+        seq,
+        mac,
+        setup_packets,
+        reason,
+        full,
+        fixed,
+    }
+}
+
+/// FNV-1a shard assignment: fixed, hasher-independent, so shard
+/// membership never varies across runs, platforms or thread counts.
+fn shard_of(mac: MacAddr, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in mac.octets() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    (hash % shards as u64) as usize
+}
+
+/// The streaming onboarding runtime (see the module docs).
+#[derive(Debug)]
+pub struct StreamRuntime<S> {
+    service: S,
+    config: StreamConfig,
+    shards: Vec<Mutex<Shard>>,
+    module: EnforcementModule,
+    switch: OvsSwitch,
+    reports: HashMap<MacAddr, OnboardingReport>,
+    stats: StreamStats,
+    next_seq: u64,
+}
+
+impl<S: SecurityService> StreamRuntime<S> {
+    /// Creates a runtime backed by `service` with default configuration.
+    pub fn new(service: S) -> Self {
+        Self::with_config(service, StreamConfig::default())
+    }
+
+    /// Creates a runtime with explicit configuration.
+    pub fn with_config(service: S, config: StreamConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        let per_shard = config.shard_capacity();
+        let shards = (0..shard_count)
+            .map(|_| {
+                Mutex::new(Shard {
+                    table: SessionTable::new(per_shard),
+                    onboarded: HashSet::new(),
+                })
+            })
+            .collect();
+        StreamRuntime {
+            service,
+            config,
+            shards,
+            module: EnforcementModule::new(),
+            switch: OvsSwitch::lab(),
+            reports: HashMap::new(),
+            stats: StreamStats::default(),
+            next_seq: 0,
+        }
+    }
+
+    /// Consumes the whole source, then flushes the remaining sessions.
+    /// Returns every onboarding report, in decision order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source [`ParseError`]s (e.g. a truncated capture);
+    /// devices onboarded before the error remain onboarded.
+    pub fn run<P: PacketSource>(
+        &mut self,
+        mut source: P,
+    ) -> Result<Vec<OnboardingReport>, ParseError> {
+        let mut reports = Vec::new();
+        let mut batch: Vec<Packet> = Vec::with_capacity(self.config.batch_size);
+        loop {
+            batch.clear();
+            if source.fill_batch(&mut batch, self.config.batch_size.max(1))? == 0 {
+                break;
+            }
+            reports.extend(self.ingest(&batch));
+        }
+        reports.extend(self.flush());
+        Ok(reports)
+    }
+
+    /// Ingests one batch of interleaved packets, returning the devices
+    /// whose setup phase completed inside it (in stream order).
+    pub fn ingest(&mut self, packets: &[Packet]) -> Vec<OnboardingReport> {
+        let shard_count = self.shards.len();
+        let mut buckets: Vec<Vec<(u64, &Packet)>> = vec![Vec::new(); shard_count];
+        for (i, packet) in packets.iter().enumerate() {
+            buckets[shard_of(packet.src_mac(), shard_count)]
+                .push((self.next_seq + i as u64, packet));
+        }
+        self.next_seq += packets.len() as u64;
+        self.stats.packets_in += packets.len() as u64;
+        let threads = effective_threads(self.config.threads);
+        let outcomes = {
+            let shards = &self.shards;
+            let config = &self.config;
+            map_indexed(shard_count, threads, |s| {
+                shards[s].lock().process(&buckets[s], config)
+            })
+        };
+        self.absorb(outcomes, true)
+    }
+
+    /// Finalizes every in-flight session (end of stream), in the order
+    /// the sessions were opened.
+    pub fn flush(&mut self) -> Vec<OnboardingReport> {
+        let shard_count = self.shards.len();
+        let threads = effective_threads(self.config.threads);
+        let outcomes = {
+            let shards = &self.shards;
+            map_indexed(shard_count, threads, |s| shards[s].lock().flush())
+        };
+        self.absorb(outcomes, false)
+    }
+
+    /// Merges per-shard outcomes in deterministic stream order, then
+    /// assesses and enforces each completed device — in exactly the
+    /// order a sequential batch gateway consuming the same interleaved
+    /// stream would, so even a *stateful* service (the real IoTSSP's
+    /// discrimination RNG advances per assessment) answers identically
+    /// at every thread count.
+    fn absorb(&mut self, outcomes: Vec<ShardOutcome>, track_peak: bool) -> Vec<OnboardingReport> {
+        let mut resident = 0usize;
+        let mut completions = Vec::new();
+        for outcome in outcomes {
+            self.stats.sessions_opened += outcome.opened;
+            self.stats.sessions_evicted += outcome.evicted;
+            self.stats.packets_ignored += outcome.ignored;
+            resident += outcome.resident;
+            completions.extend(outcome.completions);
+        }
+        if track_peak {
+            self.stats.peak_resident_sessions = self.stats.peak_resident_sessions.max(resident);
+        }
+        completions.sort_by_key(|c| (c.seq, c.mac));
+        completions
+            .into_iter()
+            .map(|completion| self.onboard(completion))
+            .collect()
+    }
+
+    /// Assesses one completed device, installs its enforcement rule and
+    /// records its report — the gateway's finalize path.
+    fn onboard(&mut self, completion: Completion) -> OnboardingReport {
+        let response = self.service.assess(&completion.full, &completion.fixed);
+        self.stats.record_completion(completion.reason);
+        match response.identification.outcome {
+            Outcome::Identified { .. } => self.stats.identified += 1,
+            Outcome::Unknown => self.stats.unknown += 1,
+        }
+        let rule = match response.isolation {
+            IsolationLevel::Strict => {
+                self.stats.strict += 1;
+                EnforcementRule::strict(completion.mac)
+            }
+            IsolationLevel::Restricted => {
+                self.stats.restricted += 1;
+                EnforcementRule::restricted(
+                    completion.mac,
+                    response.permitted_endpoints.iter().copied(),
+                )
+            }
+            IsolationLevel::Trusted => {
+                self.stats.trusted += 1;
+                EnforcementRule::trusted(completion.mac)
+            }
+        };
+        self.module.install_rule(rule);
+        let report = OnboardingReport {
+            mac: completion.mac,
+            setup_packets: completion.setup_packets,
+            response,
+        };
+        self.reports.insert(completion.mac, report.clone());
+        report
+    }
+
+    /// Forwards or drops a packet according to the installed enforcement
+    /// state (the data-plane path).
+    pub fn enforce(&mut self, packet: &Packet) -> SwitchDecision {
+        self.switch.process(packet, &mut self.module)
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// The report for an onboarded device, if its setup completed.
+    pub fn report(&self, mac: MacAddr) -> Option<&OnboardingReport> {
+        self.reports.get(&mac)
+    }
+
+    /// All onboarding reports, keyed by device MAC.
+    pub fn reports(&self) -> &HashMap<MacAddr, OnboardingReport> {
+        &self.reports
+    }
+
+    /// Sessions currently resident across all shards.
+    pub fn resident_sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().table.len()).sum()
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The enforcement module (rule cache, overlays).
+    pub fn enforcement(&self) -> &EnforcementModule {
+        &self.module
+    }
+
+    /// Mutable enforcement access (manual rule management).
+    pub fn enforcement_mut(&mut self) -> &mut EnforcementModule {
+        &mut self.module
+    }
+
+    /// The SDN switch.
+    pub fn switch(&self) -> &OvsSwitch {
+        &self.switch
+    }
+
+    /// Mutable switch access.
+    pub fn switch_mut(&mut self) -> &mut OvsSwitch {
+        &mut self.switch
+    }
+
+    /// The backing security service.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_core::{Identification, ServiceResponse};
+    use sentinel_devicesim::{catalog, interleave, Testbed};
+    use sentinel_fingerprint::Fingerprint;
+    use sentinel_netproto::stream::MemorySource;
+    use std::time::Duration;
+
+    /// Scripted service: labels every fingerprint by its packet-column
+    /// count so tests can check fingerprints flowed through untouched.
+    struct StubService {
+        isolation: IsolationLevel,
+    }
+
+    impl SecurityService for StubService {
+        fn assess(&self, full: &Fingerprint, _fixed: &FixedFingerprint) -> ServiceResponse {
+            ServiceResponse {
+                identification: Identification {
+                    outcome: Outcome::Identified {
+                        label: full.len(),
+                        name: format!("len{}", full.len()),
+                    },
+                    candidates: vec![full.len()],
+                    discriminated: false,
+                    scores: vec![],
+                },
+                isolation: self.isolation,
+                permitted_endpoints: vec![],
+                user_notification: None,
+            }
+        }
+    }
+
+    fn runtime(config: StreamConfig) -> StreamRuntime<StubService> {
+        StreamRuntime::with_config(
+            StubService {
+                isolation: IsolationLevel::Trusted,
+            },
+            config,
+        )
+    }
+
+    fn traces(n: usize) -> Vec<sentinel_devicesim::SetupTrace> {
+        let devices = catalog();
+        let testbed = Testbed::new(5);
+        (0..n)
+            .map(|i| {
+                testbed.setup_run(
+                    &devices[i % devices.len()].profile,
+                    i as u64 / devices.len() as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interleaved_devices_all_onboard_with_their_own_fingerprints() {
+        let traces = traces(12);
+        let stream = interleave(&traces, Duration::from_millis(20));
+        let mut runtime = runtime(StreamConfig::default());
+        let reports = runtime.run(MemorySource::new(stream)).unwrap();
+        assert_eq!(reports.len(), 12);
+        for trace in &traces {
+            let report = runtime.report(trace.mac).expect("onboarded");
+            assert_eq!(report.setup_packets, trace.packets.len());
+            // The stub labels by fingerprint length: it must match the
+            // batch extraction of the lone trace.
+            let batch = sentinel_fingerprint::extract(&trace.packets);
+            assert_eq!(report.response.identification.label(), Some(batch.len()));
+            assert_eq!(
+                runtime.enforcement().level_of(trace.mac),
+                IsolationLevel::Trusted
+            );
+        }
+        let stats = runtime.stats();
+        assert_eq!(stats.sessions_opened, 12);
+        assert_eq!(stats.sessions_completed(), 12);
+        assert_eq!(stats.sessions_evicted, 0);
+        assert!(stats.peak_resident_sessions >= 2, "setups overlapped");
+    }
+
+    #[test]
+    fn results_are_identical_for_any_thread_count_and_batch_size() {
+        let traces = traces(10);
+        let stream = interleave(&traces, Duration::from_millis(5));
+        let outputs: Vec<_> = [(1usize, 7usize), (2, 1024), (8, 64)]
+            .iter()
+            .map(|&(threads, batch_size)| {
+                let mut runtime = runtime(StreamConfig {
+                    threads,
+                    batch_size,
+                    ..StreamConfig::default()
+                });
+                let reports = runtime.run(MemorySource::new(stream.clone())).unwrap();
+                (reports, runtime.stats().clone())
+            })
+            .collect();
+        for (reports, stats) in &outputs[1..] {
+            assert_eq!(reports, &outputs[0].0);
+            assert_eq!(stats, &outputs[0].1);
+        }
+    }
+
+    #[test]
+    fn bounded_table_sheds_oldest_idle_session() {
+        let traces = traces(6);
+        let stream = interleave(&traces, Duration::ZERO);
+        // One shard, two slots: six concurrent setups must shed.
+        let mut runtime = runtime(StreamConfig {
+            shards: 1,
+            max_sessions: 2,
+            ..StreamConfig::default()
+        });
+        runtime.run(MemorySource::new(stream)).unwrap();
+        let stats = runtime.stats();
+        assert!(stats.sessions_evicted > 0, "overflow must shed: {stats}");
+        assert!(stats.peak_resident_sessions <= 2);
+        assert_eq!(
+            stats.sessions_opened,
+            stats.sessions_completed() + stats.sessions_evicted
+        );
+    }
+
+    #[test]
+    fn ignored_macs_never_open_sessions() {
+        let traces = traces(2);
+        let stream = interleave(&traces, Duration::from_millis(5));
+        let mut runtime = runtime(StreamConfig {
+            ignored: vec![traces[0].mac],
+            ..StreamConfig::default()
+        });
+        let reports = runtime.run(MemorySource::new(stream)).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(runtime.report(traces[0].mac).is_none());
+        assert_eq!(
+            runtime.stats().packets_ignored,
+            traces[0].packets.len() as u64
+        );
+    }
+
+    #[test]
+    fn steady_state_traffic_after_gap_completion_is_ignored() {
+        let devices = catalog();
+        let trace = Testbed::new(9).setup_run(&devices[0].profile, 0);
+        let mut stream = trace.packets.clone();
+        // Keep-alives long after setup: first one closes the session,
+        // the rest are post-onboarding traffic.
+        for i in 0..3u64 {
+            let mut late = trace.packets[0].clone();
+            late.timestamp =
+                trace.packets.last().unwrap().timestamp + Duration::from_secs(60 + i * 30);
+            stream.push(late);
+        }
+        let mut runtime = runtime(StreamConfig::default());
+        let reports = runtime.run(MemorySource::new(stream)).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].setup_packets, trace.packets.len());
+        let stats = runtime.stats();
+        assert_eq!(stats.completed_idle_gap, 1);
+        assert_eq!(stats.completed_flush, 0);
+        assert_eq!(stats.packets_ignored, 2, "keep-alives after onboarding");
+    }
+
+    #[test]
+    fn byte_cap_bounds_session_growth() {
+        let traces = traces(1);
+        let mut runtime = runtime(StreamConfig {
+            session_byte_cap: 64,
+            ..StreamConfig::default()
+        });
+        let reports = runtime
+            .run(MemorySource::new(traces[0].packets.clone()))
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].setup_packets < traces[0].packets.len());
+        assert_eq!(runtime.stats().completed_byte_cap, 1);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for n in 0..=255u8 {
+            let mac = MacAddr::new([n, 2, 3, 4, 5, n]);
+            let shard = shard_of(mac, 64);
+            assert!(shard < 64);
+            assert_eq!(shard, shard_of(mac, 64));
+        }
+    }
+
+    #[test]
+    fn effective_capacity_rounds_up_to_whole_shards() {
+        let config = StreamConfig {
+            shards: 64,
+            max_sessions: 100,
+            ..StreamConfig::default()
+        };
+        assert_eq!(config.shard_capacity(), 2);
+        assert_eq!(config.effective_capacity(), 128);
+    }
+}

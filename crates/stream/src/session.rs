@@ -1,0 +1,215 @@
+//! Per-device onboarding session state machines.
+//!
+//! A [`Session`] is the streaming replacement for the batch gateway's
+//! raw packet buffer: it feeds every observed packet straight into an
+//! incremental [`FeatureExtractor`] and keeps only the growing feature
+//! matrix plus a handful of counters, so memory per monitored device is
+//! bounded by the identification window (the detector's packet cap)
+//! instead of the device's chattiness.
+
+use sentinel_fingerprint::setup::SetupDetector;
+use sentinel_fingerprint::{FeatureExtractor, Fingerprint};
+use sentinel_netproto::{Packet, Timestamp};
+
+/// Why a session stopped collecting packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompletionReason {
+    /// A transmission gap ended the setup phase (the paper's rate
+    /// collapse, Sect. IV-A).
+    IdleGap,
+    /// The detector's hard packet cap was reached.
+    PacketCap,
+    /// The configured per-session byte cap was reached.
+    ByteCap,
+    /// The stream ended (or the runtime was flushed) with the session
+    /// still open.
+    Flush,
+}
+
+/// What [`Session::offer`] decided about one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// The packet was absorbed into the session.
+    Absorbed,
+    /// The packet revealed an idle gap: the session must be completed
+    /// *without* the packet (it belongs to steady-state traffic), exactly
+    /// like the batch gateway's automatic finalization.
+    GapComplete,
+    /// The packet was absorbed and a hard cap was hit: complete now.
+    CapComplete(CompletionReason),
+}
+
+/// Bounded per-device monitoring state for one in-flight setup phase.
+#[derive(Debug, Clone)]
+pub struct Session {
+    extractor: FeatureExtractor,
+    packets: usize,
+    bytes: u64,
+    first_seen: Timestamp,
+    last_seen: Timestamp,
+    opened_seq: u64,
+    last_seq: u64,
+}
+
+impl Session {
+    /// Opens a session at stream sequence number `seq`.
+    pub fn open(seq: u64, now: Timestamp) -> Self {
+        Session {
+            extractor: FeatureExtractor::new(),
+            packets: 0,
+            bytes: 0,
+            first_seen: now,
+            last_seen: now,
+            opened_seq: seq,
+            last_seq: seq,
+        }
+    }
+
+    /// Offers one packet (stream sequence `seq`) to the session.
+    ///
+    /// The decision mirrors `SecurityGateway::observe` bit for bit: the
+    /// idle-gap check runs *before* the packet is absorbed (the packet
+    /// that reveals the gap is steady-state traffic, not setup), the
+    /// packet cap *after*. The byte cap is a streaming-only extension and
+    /// is disabled when set to `u64::MAX`.
+    pub fn offer(
+        &mut self,
+        packet: &Packet,
+        seq: u64,
+        detector: &SetupDetector,
+        byte_cap: u64,
+    ) -> SessionEvent {
+        if self.packets >= detector.min_packets
+            && packet.timestamp.saturating_since(self.last_seen) >= detector.idle_gap
+        {
+            return SessionEvent::GapComplete;
+        }
+        self.extractor.push(packet);
+        self.packets += 1;
+        self.bytes += packet.wire_len() as u64;
+        self.last_seen = packet.timestamp;
+        self.last_seq = seq;
+        if self.packets >= detector.max_packets {
+            SessionEvent::CapComplete(CompletionReason::PacketCap)
+        } else if self.bytes >= byte_cap {
+            SessionEvent::CapComplete(CompletionReason::ByteCap)
+        } else {
+            SessionEvent::Absorbed
+        }
+    }
+
+    /// Finalizes the session into the fingerprint of everything absorbed.
+    pub fn finish(self) -> Fingerprint {
+        self.extractor.finish()
+    }
+
+    /// Packets absorbed so far.
+    pub fn packets(&self) -> usize {
+        self.packets
+    }
+
+    /// Wire bytes absorbed so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Capture time of the first offered packet.
+    pub fn first_seen(&self) -> Timestamp {
+        self.first_seen
+    }
+
+    /// Capture time of the last absorbed packet.
+    pub fn last_seen(&self) -> Timestamp {
+        self.last_seen
+    }
+
+    /// Stream sequence at which the session was opened.
+    pub fn opened_seq(&self) -> u64 {
+        self.opened_seq
+    }
+
+    /// Stream sequence of the last absorbed packet (the LRU key).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_fingerprint::extract;
+    use sentinel_netproto::MacAddr;
+    use std::time::Duration;
+
+    fn packets(n: u32, gap_millis: u64) -> Vec<Packet> {
+        let mac = MacAddr::new([1, 1, 1, 1, 1, 1]);
+        (0..n)
+            .map(|i| Packet::dhcp_discover(mac, i, u64::from(i) * gap_millis * 1000))
+            .collect()
+    }
+
+    #[test]
+    fn incremental_fingerprint_matches_batch_extract() {
+        let packets = packets(10, 50);
+        let detector = SetupDetector::default();
+        let mut session = Session::open(0, packets[0].timestamp);
+        for (i, packet) in packets.iter().enumerate() {
+            assert_eq!(
+                session.offer(packet, i as u64, &detector, u64::MAX),
+                SessionEvent::Absorbed
+            );
+        }
+        assert_eq!(session.packets(), 10);
+        assert_eq!(session.finish(), extract(&packets));
+    }
+
+    #[test]
+    fn idle_gap_completes_without_the_trigger_packet() {
+        let detector = SetupDetector::new(2, Duration::from_secs(5), 100);
+        let burst = packets(4, 100);
+        let mut session = Session::open(0, burst[0].timestamp);
+        for (i, packet) in burst.iter().enumerate() {
+            session.offer(packet, i as u64, &detector, u64::MAX);
+        }
+        let mut late = burst[0].clone();
+        late.timestamp = burst.last().unwrap().timestamp + Duration::from_secs(30);
+        assert_eq!(
+            session.offer(&late, 99, &detector, u64::MAX),
+            SessionEvent::GapComplete
+        );
+        // The gap packet must not be in the fingerprint.
+        assert_eq!(session.packets(), 4);
+    }
+
+    #[test]
+    fn packet_cap_completes_inclusively() {
+        let detector = SetupDetector::new(1, Duration::from_secs(600), 3);
+        let burst = packets(5, 10);
+        let mut session = Session::open(0, burst[0].timestamp);
+        assert_eq!(
+            session.offer(&burst[0], 0, &detector, u64::MAX),
+            SessionEvent::Absorbed
+        );
+        assert_eq!(
+            session.offer(&burst[1], 1, &detector, u64::MAX),
+            SessionEvent::Absorbed
+        );
+        assert_eq!(
+            session.offer(&burst[2], 2, &detector, u64::MAX),
+            SessionEvent::CapComplete(CompletionReason::PacketCap)
+        );
+    }
+
+    #[test]
+    fn byte_cap_completes() {
+        let detector = SetupDetector::default();
+        let burst = packets(3, 10);
+        let cap = burst[0].wire_len() as u64; // first packet already hits it
+        let mut session = Session::open(0, burst[0].timestamp);
+        assert_eq!(
+            session.offer(&burst[0], 0, &detector, cap),
+            SessionEvent::CapComplete(CompletionReason::ByteCap)
+        );
+        assert!(session.bytes() >= cap);
+    }
+}

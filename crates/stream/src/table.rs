@@ -1,0 +1,148 @@
+//! Capacity-bounded session table with deterministic LRU shedding.
+
+use std::collections::HashMap;
+
+use sentinel_netproto::MacAddr;
+
+use crate::session::Session;
+
+/// A bounded `MAC → Session` table.
+///
+/// Admission policy: a new session is always admitted; when the table is
+/// full, the least-recently-active session is shed first (oldest
+/// `last_seq`, ties broken by MAC so the choice never depends on hash
+/// iteration order). Shedding is the explicit overflow policy of the
+/// streaming runtime — the shed device simply re-enters monitoring if it
+/// keeps talking.
+#[derive(Debug, Default)]
+pub struct SessionTable {
+    capacity: usize,
+    sessions: HashMap<MacAddr, Session>,
+}
+
+impl SessionTable {
+    /// Creates a table holding at most `capacity` concurrent sessions.
+    pub fn new(capacity: usize) -> Self {
+        SessionTable {
+            capacity: capacity.max(1),
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident session count.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether no sessions are resident.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Mutable access to an in-flight session.
+    pub fn get_mut(&mut self, mac: MacAddr) -> Option<&mut Session> {
+        self.sessions.get_mut(&mac)
+    }
+
+    /// Whether `mac` has an in-flight session.
+    pub fn contains(&self, mac: MacAddr) -> bool {
+        self.sessions.contains_key(&mac)
+    }
+
+    /// Admits a new session, shedding the least-recently-active one
+    /// first if the table is full. Returns the shed entry, if any.
+    pub fn admit(&mut self, mac: MacAddr, session: Session) -> Option<(MacAddr, Session)> {
+        debug_assert!(!self.sessions.contains_key(&mac), "session already open");
+        let shed = if self.sessions.len() >= self.capacity {
+            self.shed_lru()
+        } else {
+            None
+        };
+        self.sessions.insert(mac, session);
+        shed
+    }
+
+    /// Removes and returns a session (on completion).
+    pub fn remove(&mut self, mac: MacAddr) -> Option<Session> {
+        self.sessions.remove(&mac)
+    }
+
+    /// Drains every resident session, ordered by when it was opened
+    /// (then MAC), for deterministic end-of-stream flushing.
+    pub fn drain_ordered(&mut self) -> Vec<(MacAddr, Session)> {
+        let mut drained: Vec<(MacAddr, Session)> = self.sessions.drain().collect();
+        drained.sort_by_key(|(mac, session)| (session.opened_seq(), *mac));
+        drained
+    }
+
+    fn shed_lru(&mut self) -> Option<(MacAddr, Session)> {
+        let victim = self
+            .sessions
+            .iter()
+            .min_by_key(|(mac, session)| (session.last_seq(), **mac))
+            .map(|(mac, _)| *mac)?;
+        self.sessions.remove(&victim).map(|s| (victim, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sentinel_netproto::Timestamp;
+
+    fn mac(n: u8) -> MacAddr {
+        MacAddr::new([0, 0, 0, 0, 0, n])
+    }
+
+    #[test]
+    fn admits_until_capacity_then_sheds_lru() {
+        let mut table = SessionTable::new(2);
+        assert!(table
+            .admit(mac(1), Session::open(10, Timestamp::ZERO))
+            .is_none());
+        assert!(table
+            .admit(mac(2), Session::open(20, Timestamp::ZERO))
+            .is_none());
+        // mac(1) has the oldest activity (last_seq 10) and is shed.
+        let (shed, session) = table
+            .admit(mac(3), Session::open(30, Timestamp::ZERO))
+            .expect("table full");
+        assert_eq!(shed, mac(1));
+        assert_eq!(session.opened_seq(), 10);
+        assert_eq!(table.len(), 2);
+        assert!(table.contains(mac(2)) && table.contains(mac(3)));
+    }
+
+    #[test]
+    fn lru_ties_break_by_mac() {
+        let mut table = SessionTable::new(2);
+        table.admit(mac(9), Session::open(5, Timestamp::ZERO));
+        table.admit(mac(4), Session::open(5, Timestamp::ZERO));
+        let (shed, _) = table
+            .admit(mac(7), Session::open(6, Timestamp::ZERO))
+            .unwrap();
+        assert_eq!(shed, mac(4), "equal last_seq resolves to the smaller MAC");
+    }
+
+    #[test]
+    fn drain_ordered_is_open_order() {
+        let mut table = SessionTable::new(8);
+        for (seq, m) in [(30u64, 3u8), (10, 1), (20, 2)] {
+            table.admit(mac(m), Session::open(seq, Timestamp::ZERO));
+        }
+        let order: Vec<MacAddr> = table.drain_ordered().into_iter().map(|(m, _)| m).collect();
+        assert_eq!(order, vec![mac(1), mac(2), mac(3)]);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let table = SessionTable::new(0);
+        assert_eq!(table.capacity(), 1);
+    }
+}

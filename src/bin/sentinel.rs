@@ -7,20 +7,26 @@
 //! sentinel train <model.json>               train and persist the identifier
 //! sentinel identify <capture.pcap>          identify the device-type + verdict
 //!          [--model <model.json>]           (reusing a persisted identifier)
+//! sentinel stream <capture.pcap>            stream an interleaved capture through
+//!          [--capacity N] [--threads N]     the bounded onboarding runtime
+//! sentinel stream --simulate N              …or a simulated N-device workload
 //! ```
 //!
-//! `identify` trains the IoT Security Service on the built-in catalog
-//! (20 setup runs per type, seed 42 — override with `--runs`/`--seed`)
-//! and then runs the full two-stage pipeline on the capture.
+//! `identify` and `stream` train the IoT Security Service on the
+//! built-in catalog (20 setup runs per type, seed 42 — override with
+//! `--runs`/`--seed`) unless `--model` points at a persisted identifier.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use sentinel_core::{
     FingerprintDataset, Identifier, IoTSecurityService, SecurityService, ServiceConfig,
 };
-use sentinel_devicesim::{catalog, Testbed};
+use sentinel_devicesim::{catalog, interleave, Testbed};
 use sentinel_fingerprint::{extract, FixedFingerprint, FEATURE_NAMES};
 use sentinel_netproto::pcap::PcapReader;
+use sentinel_netproto::stream::MemorySource;
+use sentinel_stream::{StreamConfig, StreamRuntime};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +36,10 @@ fn main() -> ExitCode {
     let mut run: u64 = 0;
     let mut standby = false;
     let mut model: Option<String> = None;
+    let mut capacity: usize = 4096;
+    let mut threads: usize = 0;
+    let mut simulate_count: Option<usize> = None;
+    let mut stagger_ms: u64 = 25;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -38,6 +48,10 @@ fn main() -> ExitCode {
             "--run" => run = parse_flag(iter.next(), "--run"),
             "--standby" => standby = true,
             "--model" => model = iter.next().cloned(),
+            "--capacity" => capacity = parse_flag(iter.next(), "--capacity"),
+            "--threads" => threads = parse_flag(iter.next(), "--threads"),
+            "--simulate" => simulate_count = Some(parse_flag(iter.next(), "--simulate")),
+            "--stagger-ms" => stagger_ms = parse_flag(iter.next(), "--stagger-ms"),
             other if other.starts_with("--") => {
                 eprintln!("unknown flag {other}");
                 return ExitCode::from(2);
@@ -51,14 +65,26 @@ fn main() -> ExitCode {
         Some("fingerprint") => fingerprint(&positional[1..]),
         Some("train") => train(&positional[1..], runs, seed),
         Some("identify") => identify(&positional[1..], runs, seed, model.as_deref()),
+        Some("stream") => stream(
+            &positional[1..],
+            runs,
+            seed,
+            model.as_deref(),
+            capacity,
+            threads,
+            simulate_count,
+            stagger_ms,
+        ),
         _ => {
             eprintln!(
-                "usage: sentinel <devices|simulate|fingerprint|identify> …\n\
+                "usage: sentinel <devices|simulate|fingerprint|identify|stream> …\n\
                  \n  sentinel devices\
                  \n  sentinel simulate <device> <out.pcap> [--run N] [--seed S] [--standby]\
                  \n  sentinel fingerprint <capture.pcap>\
                  \n  sentinel train <model.json> [--runs N] [--seed S]\
-                 \n  sentinel identify <capture.pcap> [--model model.json] [--runs N] [--seed S]"
+                 \n  sentinel identify <capture.pcap> [--model model.json] [--runs N] [--seed S]\
+                 \n  sentinel stream <capture.pcap> [--model model.json] [--capacity N] [--threads N]\
+                 \n  sentinel stream --simulate N [--stagger-ms M] [--capacity N] [--threads N]"
             );
             return ExitCode::from(2);
         }
@@ -169,6 +195,82 @@ fn train(args: &[String], runs: u64, seed: u64) -> Result<(), Box<dyn std::error
     Ok(())
 }
 
+/// Loads a persisted identifier, or trains the service on the catalog.
+fn build_service(
+    model: Option<&str>,
+    runs: u64,
+    seed: u64,
+) -> Result<IoTSecurityService, Box<dyn std::error::Error>> {
+    match model {
+        Some(model_path) => {
+            eprintln!("loading trained model from {model_path}…");
+            let file = std::fs::File::open(model_path)?;
+            let identifier = Identifier::from_json_reader(std::io::BufReader::new(file))?;
+            Ok(IoTSecurityService::from_identifier(identifier))
+        }
+        None => {
+            eprintln!("training the IoT Security Service ({runs} runs/type, seed {seed})…");
+            let devices = catalog();
+            let dataset = FingerprintDataset::collect(&devices, runs, seed);
+            Ok(IoTSecurityService::train(
+                &dataset,
+                &ServiceConfig::default(),
+            ))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stream(
+    args: &[String],
+    runs: u64,
+    seed: u64,
+    model: Option<&str>,
+    capacity: usize,
+    threads: usize,
+    simulate: Option<usize>,
+    stagger_ms: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let service = build_service(model, runs, seed)?;
+    let config = StreamConfig {
+        max_sessions: capacity,
+        threads,
+        ..StreamConfig::default()
+    };
+    let mut runtime = StreamRuntime::with_config(service, config);
+    let reports = match simulate {
+        Some(n) => {
+            let devices = catalog();
+            let testbed = Testbed::new(seed ^ 0x57ea);
+            let traces: Vec<_> = (0..n)
+                .map(|i| {
+                    let device = &devices[i % devices.len()];
+                    testbed.setup_run(&device.profile, 1000 + (i / devices.len()) as u64)
+                })
+                .collect();
+            let packets = interleave(&traces, Duration::from_millis(stagger_ms));
+            eprintln!(
+                "streaming {} interleaved simulated setups ({} packets)…",
+                n,
+                packets.len()
+            );
+            runtime.run(MemorySource::new(packets))?
+        }
+        None => {
+            let [path] = args else {
+                return Err("usage: sentinel stream <capture.pcap> (or --simulate N)".into());
+            };
+            eprintln!("streaming {path}…");
+            runtime.run(PcapReader::new(std::fs::File::open(path)?)?)?
+        }
+    };
+    for report in &reports {
+        println!("{report}");
+    }
+    println!("\n{}", runtime.stats());
+    Ok(())
+}
+
 fn identify(
     args: &[String],
     runs: u64,
@@ -179,20 +281,7 @@ fn identify(
         return Err("usage: sentinel identify <capture.pcap>".into());
     };
     let packets = read_capture(path)?;
-    let service = match model {
-        Some(model_path) => {
-            eprintln!("loading trained model from {model_path}…");
-            let file = std::fs::File::open(model_path)?;
-            let identifier = Identifier::from_json_reader(std::io::BufReader::new(file))?;
-            IoTSecurityService::from_identifier(identifier)
-        }
-        None => {
-            eprintln!("training the IoT Security Service ({runs} runs/type, seed {seed})…");
-            let devices = catalog();
-            let dataset = FingerprintDataset::collect(&devices, runs, seed);
-            IoTSecurityService::train(&dataset, &ServiceConfig::default())
-        }
-    };
+    let service = build_service(model, runs, seed)?;
     let full = extract(&packets);
     let fixed = FixedFingerprint::from_fingerprint(&full);
     let response = service.assess(&full, &fixed);

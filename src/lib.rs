@@ -9,6 +9,8 @@
 //! * [`devicesim`] — behaviour models for the 27 Table II device-types.
 //! * [`sdn`] — OpenFlow-style switch, controller, overlays, rule cache.
 //! * [`core`] — Security Gateway + IoT Security Service pipeline.
+//! * [`stream`] — bounded-memory streaming onboarding runtime for
+//!   interleaved multi-device traffic.
 //!
 //! See the [README](https://example.invalid/iot-sentinel) for a quickstart
 //! and `examples/` for runnable end-to-end scenarios.
@@ -21,5 +23,6 @@ pub use sentinel_fingerprint as fingerprint;
 pub use sentinel_ml as ml;
 pub use sentinel_netproto as netproto;
 pub use sentinel_sdn as sdn;
+pub use sentinel_stream as stream;
 
 pub use sentinel_core::prelude;

@@ -1,0 +1,242 @@
+//! Streaming ↔ batch equivalence: an interleaved multi-device stream
+//! pushed through `sentinel-stream` must reach exactly the decisions the
+//! batch `SecurityGateway` reaches — bit-identical against a sequential
+//! gateway consuming the same stream, and decision-identical against
+//! gateways onboarding each device's trace alone — at thread counts
+//! 1, 2 and 8.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use iot_sentinel::core::{
+    BankConfig, FingerprintDataset, Identifier, IdentifierConfig, IoTSecurityService,
+    OnboardingReport, SecurityGateway, ServiceConfig, TrainedModel,
+};
+use iot_sentinel::devicesim::{catalog, interleave, SetupTrace, Testbed};
+use iot_sentinel::ml::ForestConfig;
+use iot_sentinel::netproto::stream::MemorySource;
+use iot_sentinel::netproto::{MacAddr, Packet};
+use iot_sentinel::sdn::IsolationLevel;
+use iot_sentinel::stream::{StreamConfig, StreamRuntime};
+
+/// A real trained IoTSSP, small enough for test time.
+///
+/// `references_per_type` covers the whole 8-run training pool so stage-2
+/// discrimination always scores against every reference: the *set* of
+/// references (and therefore the decision) no longer depends on how many
+/// identifications the shared service has served before — only the
+/// floating-point summation order of the scores does.
+fn trained_model(train_runs: u64) -> TrainedModel {
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, train_runs, 42);
+    let config = ServiceConfig {
+        identifier: IdentifierConfig {
+            bank: BankConfig {
+                forest: ForestConfig::default().with_trees(25),
+                ..BankConfig::default()
+            },
+            references_per_type: train_runs as usize,
+            ..IdentifierConfig::default()
+        },
+    };
+    TrainedModel::from(&Identifier::train(&dataset, &config.identifier))
+}
+
+/// Reassembles the snapshot into a service whose discrimination RNG
+/// restarts from the configured seed — so two runs over the same model
+/// draw identical reference permutations and score bit-identically.
+fn fresh_service(model: &TrainedModel) -> IoTSecurityService {
+    IoTSecurityService::from_identifier(Identifier::from(model.clone()))
+}
+
+/// ≥20 concurrent setup runs spanning the whole catalog.
+fn concurrent_traces(n: usize) -> Vec<SetupTrace> {
+    let devices = catalog();
+    let testbed = Testbed::new(0x0e9);
+    (0..n)
+        .map(|i| {
+            let device = &devices[i % devices.len()];
+            testbed.setup_run(&device.profile, 300 + (i / devices.len()) as u64)
+        })
+        .collect()
+}
+
+/// Feeds the interleaved stream through ONE sequential batch gateway —
+/// the reference semantics the sharded runtime must reproduce exactly.
+///
+/// Mid-stream completions happen where `observe` returns a report; the
+/// sessions still open at end of stream are finalized in the order of
+/// their last absorbed packet (ties broken by MAC), which is the order
+/// the streaming runtime's flush assesses them in.
+fn sequential_baseline(service: &IoTSecurityService, stream: &[Packet]) -> Vec<OnboardingReport> {
+    let mut gateway = SecurityGateway::new(service);
+    let mut last_index: HashMap<MacAddr, usize> = HashMap::new();
+    let mut reports = Vec::new();
+    for (i, packet) in stream.iter().enumerate() {
+        if let Some(report) = gateway.observe(packet) {
+            reports.push(report);
+        }
+        if gateway.monitored_packets(packet.src_mac()) > 0 {
+            last_index.insert(packet.src_mac(), i);
+        }
+    }
+    let mut leftover: Vec<MacAddr> = gateway.monitoring().collect();
+    leftover.sort_by_key(|&mac| (last_index[&mac], mac));
+    for mac in leftover {
+        reports.push(gateway.finalize(mac).expect("still monitored"));
+    }
+    reports
+}
+
+#[test]
+fn interleaved_stream_is_bit_identical_to_a_sequential_gateway() {
+    let model = trained_model(8);
+    let traces = concurrent_traces(24);
+    // A 9 ms stagger shifts every trace's packets over a common
+    // timeline, so dozens of setups are in flight at once.
+    let stream = interleave(&traces, Duration::from_millis(9));
+    let baseline = sequential_baseline(&fresh_service(&model), &stream);
+    assert_eq!(baseline.len(), traces.len(), "every device must onboard");
+
+    for threads in [1usize, 2, 8] {
+        let mut runtime = StreamRuntime::with_config(
+            fresh_service(&model),
+            StreamConfig {
+                threads,
+                ..StreamConfig::default()
+            },
+        );
+        let reports = runtime
+            .run(MemorySource::new(stream.clone()))
+            .expect("in-memory source cannot fail");
+        // Same reports, same decision order, bit for bit — scores
+        // included. (The shared service's discrimination RNG advances
+        // per assessment, so full equality also proves the runtime
+        // assesses completions in exactly the gateway's order.)
+        assert_eq!(
+            reports, baseline,
+            "streamed reports diverged from the sequential gateway at {threads} threads"
+        );
+        assert_eq!(runtime.stats().sessions_evicted, 0);
+        for report in &baseline {
+            assert_eq!(
+                runtime.enforcement().level_of(report.mac),
+                report.response.isolation,
+                "installed rule diverged for {}",
+                report.mac
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_stream_matches_onboarding_each_trace_alone() {
+    let model = trained_model(8);
+    let service = fresh_service(&model);
+    let traces = concurrent_traces(24);
+
+    // --- Baseline: each trace onboarded alone through a batch gateway.
+    // The gateway may auto-finalize mid-trace (idle gap / packet cap);
+    // whatever it decides is the ground truth the stream must reproduce.
+    let mut baseline = Vec::with_capacity(traces.len());
+    for trace in &traces {
+        let mut gateway = SecurityGateway::new(&service);
+        let mut report = None;
+        for packet in &trace.packets {
+            if report.is_none() {
+                report = gateway.observe(packet);
+            }
+        }
+        baseline.push(
+            report
+                .or_else(|| gateway.finalize(trace.mac))
+                .expect("onboards"),
+        );
+    }
+
+    // --- Streaming: all traces interleaved into one stream. ---
+    let stream = interleave(&traces, Duration::from_millis(9));
+    for threads in [1usize, 2, 8] {
+        let mut runtime = StreamRuntime::with_config(
+            &service,
+            StreamConfig {
+                threads,
+                ..StreamConfig::default()
+            },
+        );
+        let reports = runtime
+            .run(MemorySource::new(stream.clone()))
+            .expect("in-memory source cannot fail");
+        assert_eq!(reports.len(), traces.len());
+
+        for (trace, expected) in traces.iter().zip(&baseline) {
+            let streamed = runtime
+                .report(trace.mac)
+                .unwrap_or_else(|| panic!("{} not onboarded at {threads} threads", trace.mac));
+            // Identical decisions: fingerprint window, identification,
+            // candidates and verdict. The dissimilarity scores are summed
+            // over the same full reference set but in an RNG-dependent
+            // order, so they are compared within float-summation noise
+            // rather than bit-for-bit.
+            assert_eq!(streamed.mac, expected.mac);
+            assert_eq!(streamed.setup_packets, expected.setup_packets);
+            assert_eq!(
+                streamed.response.identification.outcome, expected.response.identification.outcome,
+                "identification diverged for {} at {threads} threads",
+                trace.mac
+            );
+            assert_eq!(
+                streamed.response.identification.candidates,
+                expected.response.identification.candidates
+            );
+            assert_eq!(streamed.response.isolation, expected.response.isolation);
+            assert_eq!(
+                streamed.response.permitted_endpoints,
+                expected.response.permitted_endpoints
+            );
+            assert_eq!(
+                streamed.response.user_notification,
+                expected.response.user_notification
+            );
+            let streamed_scores = &streamed.response.identification.scores;
+            let expected_scores = &expected.response.identification.scores;
+            assert_eq!(streamed_scores.len(), expected_scores.len());
+            for (a, b) in streamed_scores.iter().zip(expected_scores) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "score diverged for {}: {a} vs {b}",
+                    trace.mac
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_identifies_and_isolates_like_the_paper() {
+    // Sanity on decision *quality*, not just equivalence: with the full
+    // catalog trained, the overwhelming majority of streamed setups must
+    // be identified, and at least one vulnerable type must be isolated.
+    let service = fresh_service(&trained_model(8));
+    let traces = concurrent_traces(27);
+    let stream = interleave(&traces, Duration::from_millis(9));
+    let mut runtime = StreamRuntime::new(&service);
+    runtime
+        .run(MemorySource::new(stream))
+        .expect("in-memory source cannot fail");
+    let stats = runtime.stats();
+    assert_eq!(stats.sessions_completed(), 27);
+    assert!(
+        stats.identified >= 20,
+        "too few identifications in-stream: {stats}"
+    );
+    assert!(
+        stats.restricted + stats.strict > 0,
+        "the seed vulnerability database must isolate someone: {stats}"
+    );
+    let isolated = traces
+        .iter()
+        .filter_map(|t| runtime.report(t.mac))
+        .any(|r| r.response.isolation != IsolationLevel::Trusted);
+    assert!(isolated);
+}
