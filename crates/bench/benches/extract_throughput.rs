@@ -1,0 +1,59 @@
+//! Per-packet feature extraction throughput: the legacy full-decode path
+//! (`Packet::parse` → `FeatureExtractor::push`) against the zero-copy
+//! single-pass wire scan (`FeatureExtractor::push_bytes`, backed by
+//! `sentinel_netproto::scan::WireScan`). Both produce bit-identical
+//! fingerprints; the scan path is what the streaming runtime and the
+//! gateway hot path use.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_devicesim::{catalog, Testbed};
+use sentinel_fingerprint::{extract_frames, FeatureExtractor};
+use sentinel_netproto::{Packet, Timestamp};
+
+fn frames_for(name: &str) -> Vec<Vec<u8>> {
+    let devices = catalog();
+    let testbed = Testbed::new(21);
+    let device = devices
+        .iter()
+        .find(|d| d.info.identifier == name)
+        .expect("catalog device");
+    let trace = testbed.setup_run(&device.profile, 0);
+    trace.packets.iter().map(|p| p.encode()).collect()
+}
+
+fn decode_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_decode");
+    for name in ["HueSwitch", "Aria", "D-LinkHomeHub"] {
+        let frames = frames_for(name);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &frames, |b, frames| {
+            b.iter(|| {
+                let mut extractor = FeatureExtractor::with_capacity(frames.len());
+                for frame in frames {
+                    let packet = Packet::parse(frame, Timestamp::ZERO).expect("well-formed");
+                    extractor.push(&packet);
+                }
+                extractor.finish()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn wirescan_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract_wirescan");
+    for name in ["HueSwitch", "Aria", "D-LinkHomeHub"] {
+        let frames = frames_for(name);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &frames, |b, frames| {
+            b.iter(|| extract_frames(frames).expect("well-formed"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = decode_path, wirescan_path
+}
+criterion_main!(benches);

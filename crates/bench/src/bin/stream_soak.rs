@@ -24,7 +24,7 @@ use sentinel_core::{
 };
 use sentinel_devicesim::{catalog, interleave, Testbed};
 use sentinel_ml::ForestConfig;
-use sentinel_netproto::stream::MemorySource;
+use sentinel_netproto::stream::MemoryFrameSource;
 use sentinel_stream::{StreamConfig, StreamRuntime};
 
 fn main() {
@@ -71,6 +71,12 @@ fn main() {
         .collect();
     let packets = interleave(&traces, Duration::from_micros(stagger_us));
     let total_packets = packets.len();
+    // Pre-encode to raw wire frames outside the window: what a live tap
+    // delivers is bytes, and the measured path is the runtime's
+    // zero-copy wire-scan ingest (`run_frames`), which never builds a
+    // `Packet` for a frame the scanner certifies.
+    let frames = MemoryFrameSource::from_packets(&packets);
+    drop(packets);
 
     // --- The measured streaming window. ---
     let config = StreamConfig {
@@ -82,7 +88,7 @@ fn main() {
     let mut runtime = StreamRuntime::with_config(service, config);
     let start = Instant::now();
     let reports = runtime
-        .run(MemorySource::new(packets))
+        .run_frames(frames)
         .expect("in-memory source cannot fail");
     let elapsed = start.elapsed();
 

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use sentinel_fingerprint::setup::SetupDetector;
 use sentinel_fingerprint::{FeatureExtractor, FixedFingerprint};
-use sentinel_netproto::{MacAddr, Packet, Timestamp};
+use sentinel_netproto::{MacAddr, Packet, ParseError, RawFeatures, Timestamp};
 use sentinel_sdn::{EnforcementModule, EnforcementRule, IsolationLevel, OvsSwitch, SwitchDecision};
 
 use crate::report::OnboardingReport;
@@ -75,27 +75,51 @@ impl<S: SecurityService> SecurityGateway<S> {
     /// Returns the onboarding report if this packet completed an
     /// identification.
     pub fn observe(&mut self, packet: &Packet) -> Option<OnboardingReport> {
-        let mac = packet.src_mac();
+        self.observe_raw(&RawFeatures::from_packet(packet), packet.timestamp)
+    }
+
+    /// Observes one raw Ethernet frame through the zero-copy wire
+    /// scanner (`sentinel_netproto::scan`), never constructing a
+    /// [`Packet`] for a frame the scanner can certify. Monitoring
+    /// decisions, fingerprints and reports are bit-identical to
+    /// [`SecurityGateway::observe`] on the decoded packet.
+    ///
+    /// # Errors
+    ///
+    /// Errors exactly when `Packet::parse` would reject the frame.
+    pub fn observe_frame(
+        &mut self,
+        frame: &[u8],
+        timestamp: Timestamp,
+    ) -> Result<Option<OnboardingReport>, ParseError> {
+        let raw = RawFeatures::from_frame(frame)?;
+        Ok(self.observe_raw(&raw, timestamp))
+    }
+
+    /// The shared monitoring state machine behind both observe paths.
+    fn observe_raw(&mut self, raw: &RawFeatures, timestamp: Timestamp) -> Option<OnboardingReport> {
+        let mac = raw.src_mac;
         if self.config.ignored.contains(&mac) || self.onboarded.contains_key(&mac) {
             return None;
         }
+        let capacity = self.config.detector.max_packets.min(1024);
         let monitor = self.monitors.entry(mac).or_insert_with(|| MonitorState {
-            extractor: FeatureExtractor::new(),
+            extractor: FeatureExtractor::with_capacity(capacity),
             packets: 0,
-            last_seen: packet.timestamp,
+            last_seen: timestamp,
         });
         // Setup-end detection: a long transmission gap after enough
         // packets closes the setup phase; the new packet belongs to the
         // device's steady-state traffic.
         if monitor.packets >= self.config.detector.min_packets
-            && packet.timestamp.saturating_since(monitor.last_seen) >= self.config.detector.idle_gap
+            && timestamp.saturating_since(monitor.last_seen) >= self.config.detector.idle_gap
         {
             let report = self.finalize(mac);
             return report;
         }
-        monitor.extractor.push(packet);
+        monitor.extractor.push_raw(raw);
         monitor.packets += 1;
-        monitor.last_seen = packet.timestamp;
+        monitor.last_seen = timestamp;
         if monitor.packets >= self.config.detector.max_packets {
             return self.finalize(mac);
         }
@@ -247,6 +271,43 @@ mod tests {
             IsolationLevel::Trusted
         );
         assert!(gateway.report(trace.mac).is_some());
+    }
+
+    #[test]
+    fn frame_observation_matches_packet_observation() {
+        let trace = device_trace();
+        let make = || {
+            SecurityGateway::new(StubService {
+                isolation: IsolationLevel::Restricted,
+            })
+        };
+        let mut decoded = make();
+        let mut scanned = make();
+        for packet in &trace.packets {
+            let frame = packet.encode();
+            let via_packet = decoded.observe(packet);
+            let via_frame = scanned
+                .observe_frame(&frame, packet.timestamp)
+                .expect("simulated frames are well-formed");
+            assert_eq!(via_frame, via_packet);
+        }
+        assert_eq!(
+            scanned.monitored_packets(trace.mac),
+            decoded.monitored_packets(trace.mac)
+        );
+        assert_eq!(scanned.finalize(trace.mac), decoded.finalize(trace.mac));
+    }
+
+    #[test]
+    fn observe_frame_rejects_what_the_decoder_rejects() {
+        let mut gateway = SecurityGateway::new(StubService {
+            isolation: IsolationLevel::Trusted,
+        });
+        let trace = device_trace();
+        let mut truncated = trace.packets[0].encode();
+        truncated.truncate(16);
+        assert!(gateway.observe_frame(&truncated, Timestamp::ZERO).is_err());
+        assert_eq!(gateway.monitoring().count(), 0, "no monitor state leaked");
     }
 
     #[test]

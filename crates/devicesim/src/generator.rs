@@ -34,6 +34,17 @@ pub struct SetupTrace {
     pub packets: Vec<Packet>,
 }
 
+impl SetupTrace {
+    /// Re-encodes the trace to timestamped wire frames, the form the
+    /// zero-copy scan path (`sentinel_netproto::scan`) ingests.
+    pub fn frames(&self) -> Vec<(Timestamp, Vec<u8>)> {
+        self.packets
+            .iter()
+            .map(|p| (p.timestamp, p.encode()))
+            .collect()
+    }
+}
+
 /// Expands device profiles into setup-run packet traces.
 ///
 /// The generator models the gateway side of the lab network (Fig. 4):

@@ -1,0 +1,53 @@
+//! The zero-copy scan fast path on simulated traffic.
+//!
+//! Every frame the device simulator emits is canonical (see the
+//! `all_packets_roundtrip_on_the_wire` test), so the wire scanner must
+//! certify **all** of them without falling back to the decoder — that is
+//! what makes the streaming hot path allocation-free — and the
+//! frame-based extraction must reproduce the packet-based fingerprints
+//! bit for bit.
+
+use sentinel_devicesim::{catalog, Testbed};
+use sentinel_fingerprint::{extract, extract_frames};
+use sentinel_netproto::{RawFeatures, ScanOutcome, WireScan};
+
+#[test]
+fn every_simulated_frame_certifies() {
+    let testbed = Testbed::new(0xfa57);
+    for (i, device) in catalog().iter().enumerate() {
+        let trace = testbed.setup_run(&device.profile, i as u64);
+        for packet in &trace.packets {
+            let frame = packet.encode();
+            match WireScan::scan(&frame) {
+                ScanOutcome::Features(raw) => {
+                    assert_eq!(
+                        raw,
+                        RawFeatures::from_packet(packet),
+                        "{} packet {packet:?}",
+                        device.info.identifier
+                    );
+                }
+                other => panic!(
+                    "{} produced a frame the scanner cannot certify ({other:?}): {packet:?}",
+                    device.info.identifier
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn frame_extraction_matches_packet_extraction() {
+    let testbed = Testbed::new(0x1d3a);
+    for (i, device) in catalog().iter().enumerate() {
+        let trace = testbed.setup_run(&device.profile, 1_000 + i as u64);
+        let frames: Vec<Vec<u8>> = trace.frames().into_iter().map(|(_, f)| f).collect();
+        let via_frames = extract_frames(&frames).expect("simulated frames are well-formed");
+        assert_eq!(
+            via_frames,
+            extract(&trace.packets),
+            "fingerprint mismatch for {}",
+            device.info.identifier
+        );
+    }
+}

@@ -1,9 +1,8 @@
 //! Feature extraction from captured packets.
 
-use std::collections::HashMap;
 use std::net::IpAddr;
 
-use sentinel_netproto::Packet;
+use sentinel_netproto::{Packet, ParseError, RawFeatures};
 
 use crate::{FeatureVector, Fingerprint};
 
@@ -20,7 +19,10 @@ use crate::{FeatureVector, Fingerprint};
 /// batch case, use the free function [`extract`].
 #[derive(Debug, Clone, Default)]
 pub struct FeatureExtractor {
-    dst_ip_order: HashMap<IpAddr, u32>,
+    /// Distinct destination addresses in first-appearance order; the
+    /// counter of an address is its index + 1. A setup phase contacts a
+    /// handful of endpoints, so a linear scan beats hashing.
+    dst_ip_order: Vec<IpAddr>,
     vectors: Vec<FeatureVector>,
 }
 
@@ -30,20 +32,49 @@ impl FeatureExtractor {
         Self::default()
     }
 
+    /// Creates an extractor with `capacity` feature vectors pre-allocated.
+    ///
+    /// Sessions bounded by a detector packet cap should pass that cap so
+    /// setup bursts never reallocate the vector arena.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FeatureExtractor {
+            dst_ip_order: Vec::new(),
+            vectors: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Extracts the features of `packet` and appends them.
     ///
     /// Returns the extracted vector for callers that want to observe it.
     pub fn push(&mut self, packet: &Packet) -> &FeatureVector {
-        let counter = match packet.dst_ip() {
-            Some(ip) => {
-                let next = self.dst_ip_order.len() as u32 + 1;
-                *self.dst_ip_order.entry(ip).or_insert(next)
-            }
+        self.push_raw(&RawFeatures::from_packet(packet))
+    }
+
+    /// Appends the features of one wire-scanned frame (the zero-copy
+    /// fast path — see [`sentinel_netproto::WireScan`]).
+    pub fn push_raw(&mut self, raw: &RawFeatures) -> &FeatureVector {
+        let counter = match raw.dst_ip {
+            Some(ip) => match self.dst_ip_order.iter().position(|&seen| seen == ip) {
+                Some(index) => index as u32 + 1,
+                None => {
+                    self.dst_ip_order.push(ip);
+                    self.dst_ip_order.len() as u32
+                }
+            },
             None => 0,
         };
-        self.vectors
-            .push(FeatureVector::from_packet(packet, counter));
+        self.vectors.push(FeatureVector::from_raw(raw, counter));
         self.vectors.last().expect("just pushed")
+    }
+
+    /// Extracts the features of one raw Ethernet frame without building
+    /// a [`Packet`], falling back to the full decoder only when the wire
+    /// scanner cannot certify the frame.
+    ///
+    /// Errors exactly when `Packet::parse` would.
+    pub fn push_bytes(&mut self, frame: &[u8]) -> Result<&FeatureVector, ParseError> {
+        let raw = RawFeatures::from_frame(frame)?;
+        Ok(self.push_raw(&raw))
     }
 
     /// The number of packets consumed so far.
@@ -53,7 +84,7 @@ impl FeatureExtractor {
 
     /// Finalizes into a [`Fingerprint`] (dropping consecutive duplicates).
     pub fn finish(self) -> Fingerprint {
-        Fingerprint::new(self.vectors)
+        Fingerprint::from_vec(self.vectors)
     }
 }
 
@@ -68,11 +99,23 @@ impl FeatureExtractor {
 /// assert_eq!(fingerprint.len(), 1);
 /// ```
 pub fn extract(packets: &[Packet]) -> Fingerprint {
-    let mut extractor = FeatureExtractor::new();
+    let mut extractor = FeatureExtractor::with_capacity(packets.len());
     for packet in packets {
         extractor.push(packet);
     }
     extractor.finish()
+}
+
+/// Extracts a [`Fingerprint`] straight from raw Ethernet frames via the
+/// zero-copy wire scanner, never constructing a [`Packet`] on the fast
+/// path. Produces exactly the same fingerprint as [`extract`] on the
+/// decoded packets; errors exactly when decoding would.
+pub fn extract_frames<B: AsRef<[u8]>>(frames: &[B]) -> Result<Fingerprint, ParseError> {
+    let mut extractor = FeatureExtractor::with_capacity(frames.len());
+    for frame in frames {
+        extractor.push_bytes(frame.as_ref())?;
+    }
+    Ok(extractor.finish())
 }
 
 #[cfg(test)]

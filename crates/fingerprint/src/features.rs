@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sentinel_netproto::{Packet, Protocol, ProtocolSet};
+use sentinel_netproto::{Packet, Protocol, ProtocolSet, RawFeatures};
 
 /// Number of features extracted per packet (Table I).
 pub const FEATURE_COUNT: usize = 23;
@@ -121,6 +121,22 @@ impl FeatureVector {
             dst_ip_counter,
             src_port_class: PortClass::from_port(packet.src_port()),
             dst_port_class: PortClass::from_port(packet.dst_port()),
+        }
+    }
+
+    /// Builds the features from a wire-scan record (the zero-copy fast
+    /// path). Equivalent to [`FeatureVector::from_packet`] on the decoded
+    /// frame — the contract `sentinel_netproto::scan` certifies.
+    pub fn from_raw(raw: &RawFeatures, dst_ip_counter: u32) -> Self {
+        FeatureVector {
+            protocols: raw.protocols,
+            ip_option_padding: raw.ip_option_padding,
+            ip_option_router_alert: raw.ip_option_router_alert,
+            packet_size: raw.packet_size,
+            raw_data: raw.raw_data,
+            dst_ip_counter,
+            src_port_class: PortClass::from_port(raw.src_port),
+            dst_port_class: PortClass::from_port(raw.dst_port),
         }
     }
 

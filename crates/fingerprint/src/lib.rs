@@ -45,7 +45,7 @@ mod intern;
 mod matrix;
 pub mod setup;
 
-pub use extract::{extract, FeatureExtractor};
+pub use extract::{extract, extract_frames, FeatureExtractor};
 pub use features::{FeatureVector, PortClass, FEATURE_COUNT, FEATURE_NAMES};
 pub use fixed::{FixedFingerprint, FIXED_DIMENSIONS, FIXED_PACKETS};
 pub use intern::{InternedFingerprint, SymbolTable};

@@ -20,13 +20,15 @@ impl Fingerprint {
     /// Builds a fingerprint from per-packet feature vectors, discarding
     /// consecutive duplicates.
     pub fn new(vectors: impl IntoIterator<Item = FeatureVector>) -> Self {
-        let mut deduped: Vec<FeatureVector> = Vec::new();
-        for vector in vectors {
-            if deduped.last() != Some(&vector) {
-                deduped.push(vector);
-            }
-        }
-        Fingerprint { vectors: deduped }
+        Self::from_vec(vectors.into_iter().collect())
+    }
+
+    /// Builds a fingerprint from an owned vector of per-packet features,
+    /// deduplicating consecutive duplicates in place without copying the
+    /// surviving vectors into a fresh allocation.
+    pub fn from_vec(mut vectors: Vec<FeatureVector>) -> Self {
+        vectors.dedup();
+        Fingerprint { vectors }
     }
 
     /// The number of packet columns `n`.

@@ -224,6 +224,14 @@ impl Ipv6Header {
                     bytes.len(),
                 ));
             }
+            // The extension header must fit inside the declared payload,
+            // or the payload slice below would be inverted.
+            if offset + ext_len > total {
+                return Err(ParseError::invalid(
+                    "ipv6 hop-by-hop",
+                    format!("extension length {ext_len} exceeds payload {payload_len}"),
+                ));
+            }
             hop_by_hop = parse_hbh_options(&bytes[offset + 2..offset + ext_len])?;
             offset += ext_len;
         }
@@ -338,6 +346,20 @@ mod tests {
         buf.extend_from_slice(&[9, 9, 9]);
         let (_, payload) = Ipv6Header::parse(&buf).unwrap();
         assert_eq!(payload, &[9]);
+    }
+
+    #[test]
+    fn extension_past_declared_payload_is_an_error_not_a_panic() {
+        // Regression: a buffer long enough to hold the extension header,
+        // but whose declared payload length is shorter than the extension
+        // claims, used to slice `bytes[offset..total]` with offset > total.
+        let mut buf = Vec::new();
+        sample()
+            .with_hop_by_hop(HopByHopOption::RouterAlert(0))
+            .encode(&mut buf, 0);
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // payload 4 < ext 8
+        buf.extend_from_slice(&[0u8; 8]); // keep the buffer long enough
+        assert!(Ipv6Header::parse(&buf).is_err());
     }
 
     #[test]

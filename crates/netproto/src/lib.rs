@@ -53,6 +53,7 @@ pub mod ntp;
 pub mod packet;
 pub mod pcap;
 pub mod ports;
+pub mod scan;
 pub mod ssdp;
 pub mod stream;
 pub mod tcp;
@@ -65,4 +66,5 @@ pub use error::ParseError;
 pub use ethernet::{EtherType, EthernetHeader};
 pub use mac::MacAddr;
 pub use packet::{AppPayload, Packet, PacketBody, Transport};
+pub use scan::{RawFeatures, ScanOutcome, WireScan};
 pub use timestamp::Timestamp;

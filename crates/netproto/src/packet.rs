@@ -66,6 +66,18 @@ impl AppPayload {
     /// [`AppPayload::Raw`] when the protocol suggested by the ports does
     /// not parse.
     pub fn parse(bytes: &[u8], src_port: u16, dst_port: u16) -> Self {
+        Self::parse_with(bytes, src_port, dst_port, &Bytes::copy_from_slice)
+    }
+
+    /// The payload parser with an injectable `raw` constructor, so
+    /// [`Packet::parse_bytes`] can slice the original frame buffer
+    /// instead of copying into the `Raw` fallback.
+    fn parse_with(
+        bytes: &[u8],
+        src_port: u16,
+        dst_port: u16,
+        raw: &dyn Fn(&[u8]) -> Bytes,
+    ) -> Self {
         if bytes.is_empty() {
             return AppPayload::Empty;
         }
@@ -88,7 +100,7 @@ impl AppPayload {
         } else {
             None
         };
-        parsed.unwrap_or_else(|| AppPayload::Raw(Bytes::copy_from_slice(bytes)))
+        parsed.unwrap_or_else(|| AppPayload::Raw(raw(bytes)))
     }
 }
 
@@ -359,6 +371,26 @@ impl Packet {
     /// Unknown protocols at any layer degrade gracefully to `Other`/`Raw`
     /// variants instead of failing.
     pub fn parse(bytes: &[u8], timestamp: Timestamp) -> Result<Self, ParseError> {
+        Self::parse_inner(bytes, timestamp, &Bytes::copy_from_slice)
+    }
+
+    /// Parses a packet from a shared frame buffer, **slicing** `frame`
+    /// for every uninterpreted-payload variant (`AppPayload::Raw`, LLC,
+    /// unknown EtherTypes, unknown IP protocols) instead of copying it.
+    /// The resulting packet shares the frame's allocation.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Packet::parse`].
+    pub fn parse_bytes(frame: &Bytes, timestamp: Timestamp) -> Result<Self, ParseError> {
+        Self::parse_inner(frame, timestamp, &|subset| frame.slice_ref(subset))
+    }
+
+    fn parse_inner(
+        bytes: &[u8],
+        timestamp: Timestamp,
+        raw: &dyn Fn(&[u8]) -> Bytes,
+    ) -> Result<Self, ParseError> {
         let (eth, rest) = EthernetHeader::parse(bytes)?;
         let body = match eth.ethertype {
             EtherType::Arp => PacketBody::Arp(ArpPacket::parse(rest)?),
@@ -367,22 +399,22 @@ impl Packet {
                 let (header, payload) = LlcHeader::parse(rest)?;
                 PacketBody::Llc {
                     header,
-                    payload: Bytes::copy_from_slice(payload),
+                    payload: raw(payload),
                 }
             }
             EtherType::Ipv4 => {
                 let (header, payload) = Ipv4Header::parse(rest)?;
-                let transport = parse_transport(header.protocol, payload)?;
+                let transport = parse_transport(header.protocol, payload, raw)?;
                 PacketBody::Ipv4 { header, transport }
             }
             EtherType::Ipv6 => {
                 let (header, payload) = Ipv6Header::parse(rest)?;
-                let transport = parse_transport(header.protocol, payload)?;
+                let transport = parse_transport(header.protocol, payload, raw)?;
                 PacketBody::Ipv6 { header, transport }
             }
             EtherType::Other(ethertype) => PacketBody::Other {
                 ethertype,
-                payload: Bytes::copy_from_slice(rest),
+                payload: raw(rest),
             },
         };
         Ok(Packet {
@@ -523,11 +555,15 @@ fn encode_transport(transport: &Transport, v6: Option<(Ipv6Addr, Ipv6Addr)>) -> 
     buf
 }
 
-fn parse_transport(protocol: IpProtocol, bytes: &[u8]) -> Result<Transport, ParseError> {
+fn parse_transport(
+    protocol: IpProtocol,
+    bytes: &[u8],
+    raw: &dyn Fn(&[u8]) -> Bytes,
+) -> Result<Transport, ParseError> {
     Ok(match protocol {
         IpProtocol::Tcp => {
             let (header, payload) = TcpHeader::parse(bytes)?;
-            let app = AppPayload::parse(payload, header.src_port, header.dst_port);
+            let app = AppPayload::parse_with(payload, header.src_port, header.dst_port, raw);
             Transport::Tcp {
                 header,
                 payload: app,
@@ -535,7 +571,7 @@ fn parse_transport(protocol: IpProtocol, bytes: &[u8]) -> Result<Transport, Pars
         }
         IpProtocol::Udp => {
             let (header, payload) = UdpHeader::parse(bytes)?;
-            let app = AppPayload::parse(payload, header.src_port, header.dst_port);
+            let app = AppPayload::parse_with(payload, header.src_port, header.dst_port, raw);
             Transport::Udp {
                 header,
                 payload: app,
@@ -545,7 +581,7 @@ fn parse_transport(protocol: IpProtocol, bytes: &[u8]) -> Result<Transport, Pars
         IpProtocol::Icmpv6 => Transport::Icmpv6(Icmpv6Message::parse(bytes)?),
         other => Transport::Other {
             protocol: other.to_u8(),
-            payload: Bytes::copy_from_slice(bytes),
+            payload: raw(bytes),
         },
     })
 }
@@ -573,6 +609,42 @@ mod tests {
     #[test]
     fn dhcp_discover_roundtrip() {
         roundtrip(&Packet::dhcp_discover(mac(1), 42, 1000));
+    }
+
+    #[test]
+    fn parse_bytes_matches_parse_and_slices_raw_payloads() {
+        let raw_payload = AppPayload::Raw(Bytes::copy_from_slice(&[0x80; 24]));
+        let candidates = vec![
+            Packet::udp_ipv4(
+                Timestamp::ZERO,
+                mac(1),
+                mac(2),
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(10, 0, 0, 2),
+                4000,
+                4001,
+                raw_payload,
+            ),
+            Packet::new(
+                Timestamp::ZERO,
+                mac(3),
+                mac(4),
+                PacketBody::Other {
+                    ethertype: 0x9100,
+                    payload: Bytes::copy_from_slice(&[7, 7, 7]),
+                },
+            ),
+            Packet::dhcp_discover(mac(5), 42, 1000),
+        ];
+        for packet in candidates {
+            let frame = Bytes::from(packet.encode());
+            let sliced = Packet::parse_bytes(&frame, packet.timestamp).expect("parse");
+            assert_eq!(
+                sliced,
+                Packet::parse(&frame, packet.timestamp).expect("parse")
+            );
+            assert_eq!(sliced, packet);
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use std::io::Read;
 
 use crate::pcap::PcapReader;
-use crate::{Packet, ParseError};
+use crate::{Packet, ParseError, Timestamp};
 
 /// A pull-based source of capture packets in timestamp order.
 ///
@@ -96,6 +96,94 @@ impl PacketSource for MemorySource {
     }
 }
 
+/// A pull-based source of timestamped **raw frames** in capture order.
+///
+/// This is the zero-copy counterpart of [`PacketSource`]: consumers that
+/// only need Table I features (the streaming onboarding runtime) take the
+/// undecoded bytes and run the wire scanner
+/// ([`crate::WireScan`]) over them, so the hot path never builds a
+/// [`Packet`]. Frames are *not* validated here — a malformed frame is the
+/// consumer's decision (the runtime counts and skips it).
+pub trait FrameSource {
+    /// Produces the next raw frame, or `None` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the underlying capture container
+    /// (e.g. a pcap record header) is truncated — frame *contents* are
+    /// never inspected.
+    fn next_frame(&mut self) -> Result<Option<(Timestamp, Vec<u8>)>, ParseError>;
+
+    /// Drains up to `max` frames into `buf` (appended), returning how
+    /// many were read. A return of `0` means end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ParseError`] from [`Self::next_frame`];
+    /// frames read before the error remain in `buf`.
+    fn fill_frames(
+        &mut self,
+        buf: &mut Vec<(Timestamp, Vec<u8>)>,
+        max: usize,
+    ) -> Result<usize, ParseError> {
+        let mut read = 0;
+        while read < max {
+            match self.next_frame()? {
+                Some(frame) => {
+                    buf.push(frame);
+                    read += 1;
+                }
+                None => break,
+            }
+        }
+        Ok(read)
+    }
+}
+
+impl<R: Read> FrameSource for PcapReader<R> {
+    fn next_frame(&mut self) -> Result<Option<(Timestamp, Vec<u8>)>, ParseError> {
+        self.read_raw()
+    }
+}
+
+impl<S: FrameSource + ?Sized> FrameSource for &mut S {
+    fn next_frame(&mut self) -> Result<Option<(Timestamp, Vec<u8>)>, ParseError> {
+        (**self).next_frame()
+    }
+}
+
+/// A [`FrameSource`] over an in-memory frame list, in order.
+#[derive(Debug, Clone)]
+pub struct MemoryFrameSource {
+    frames: std::vec::IntoIter<(Timestamp, Vec<u8>)>,
+}
+
+impl MemoryFrameSource {
+    /// Creates a source that yields `frames` front to back.
+    pub fn new(frames: Vec<(Timestamp, Vec<u8>)>) -> Self {
+        MemoryFrameSource {
+            frames: frames.into_iter(),
+        }
+    }
+
+    /// Encodes `packets` to wire frames up front (outside any measured
+    /// hot path) and serves them.
+    pub fn from_packets(packets: &[Packet]) -> Self {
+        MemoryFrameSource::new(packets.iter().map(|p| (p.timestamp, p.encode())).collect())
+    }
+
+    /// Frames not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+impl FrameSource for MemoryFrameSource {
+    fn next_frame(&mut self) -> Result<Option<(Timestamp, Vec<u8>)>, ParseError> {
+        Ok(self.frames.next())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,5 +233,36 @@ mod tests {
         assert_eq!(source.fill_batch(&mut buf, 3).unwrap(), 2);
         assert_eq!(source.fill_batch(&mut buf, 3).unwrap(), 0);
         assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn memory_frame_source_yields_encoded_frames_in_order() {
+        let packets = sample();
+        let mut source = MemoryFrameSource::from_packets(&packets);
+        for expected in &packets {
+            let (ts, frame) = source.next_frame().unwrap().unwrap();
+            assert_eq!(ts, expected.timestamp);
+            assert_eq!(frame, expected.encode());
+        }
+        assert!(source.next_frame().unwrap().is_none());
+        assert_eq!(source.remaining(), 0);
+    }
+
+    #[test]
+    fn pcap_reader_is_a_frame_source() {
+        let packets = sample();
+        let mut buf = Vec::new();
+        let mut writer = PcapWriter::new(&mut buf).unwrap();
+        for packet in &packets {
+            writer.write_packet(packet).unwrap();
+        }
+        writer.finish().unwrap();
+        let mut reader = PcapReader::new(buf.as_slice()).unwrap();
+        let mut frames = Vec::new();
+        assert_eq!(reader.fill_frames(&mut frames, 16).unwrap(), 5);
+        for (packet, (ts, frame)) in packets.iter().zip(&frames) {
+            assert_eq!(*ts, packet.timestamp);
+            assert_eq!(*frame, packet.encode());
+        }
     }
 }

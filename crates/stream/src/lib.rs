@@ -17,7 +17,11 @@
 //!   packet cap, byte cap), and drives each completed setup through the
 //!   same assess → enforce path as the batch gateway. Decisions are
 //!   bit-identical to onboarding each device alone, at any thread count
-//!   and batch size.
+//!   and batch size. [`StreamRuntime::run_frames`] is the zero-copy hot
+//!   path: it ingests a [`FrameSource`] of raw Ethernet frames through
+//!   the single-pass wire scanner (`sentinel_netproto::scan`) and never
+//!   constructs a packet for a frame the scanner can certify, with
+//!   identical reports and stats.
 //! * [`StreamStats`] — the counters an operator needs: throughput,
 //!   session lifecycle, shedding, peak concurrency, outcome mix.
 //!
@@ -61,4 +65,4 @@ pub use session::{CompletionReason, Session, SessionEvent};
 pub use stats::StreamStats;
 pub use table::SessionTable;
 
-pub use sentinel_netproto::stream::{MemorySource, PacketSource};
+pub use sentinel_netproto::stream::{FrameSource, MemoryFrameSource, MemorySource, PacketSource};

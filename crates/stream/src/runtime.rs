@@ -26,8 +26,8 @@ use sentinel_core::{OnboardingReport, Outcome, SecurityService};
 use sentinel_fingerprint::setup::SetupDetector;
 use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
 use sentinel_ml::parallel::{effective_threads, map_indexed};
-use sentinel_netproto::stream::PacketSource;
-use sentinel_netproto::{MacAddr, Packet, ParseError};
+use sentinel_netproto::stream::{FrameSource, PacketSource};
+use sentinel_netproto::{MacAddr, Packet, ParseError, RawFeatures, Timestamp};
 use sentinel_sdn::{EnforcementModule, EnforcementRule, IsolationLevel, OvsSwitch, SwitchDecision};
 
 use crate::session::{CompletionReason, Session, SessionEvent};
@@ -122,7 +122,15 @@ struct ShardOutcome {
     opened: u64,
     evicted: u64,
     ignored: u64,
+    malformed: u64,
     resident: usize,
+}
+
+/// Per-session feature-arena pre-allocation: the detector's packet cap,
+/// clamped so a pathological configuration cannot make every open
+/// session reserve unbounded memory up front.
+fn session_capacity(detector: &SetupDetector) -> usize {
+    detector.max_packets.min(1024)
 }
 
 impl Shard {
@@ -135,17 +143,69 @@ impl Shard {
                 continue;
             }
             if !self.table.contains(mac) {
-                if self
-                    .table
-                    .admit(mac, Session::open(seq, packet.timestamp))
-                    .is_some()
-                {
+                let session =
+                    Session::open_sized(seq, packet.timestamp, session_capacity(&config.detector));
+                if self.table.admit(mac, session).is_some() {
                     out.evicted += 1;
                 }
                 out.opened += 1;
             }
             let session = self.table.get_mut(mac).expect("admitted above");
             let event = session.offer(packet, seq, &config.detector, config.session_byte_cap);
+            let reason = match event {
+                SessionEvent::Absorbed => continue,
+                SessionEvent::GapComplete => CompletionReason::IdleGap,
+                SessionEvent::CapComplete(reason) => reason,
+            };
+            let session = self.table.remove(mac).expect("was resident");
+            out.completions.push(complete(mac, seq, session, reason));
+            self.onboarded.insert(mac);
+        }
+        out.resident = self.table.len();
+        out
+    }
+
+    /// The zero-copy twin of [`Shard::process`]: each raw frame goes
+    /// through the wire scanner ([`RawFeatures::from_frame`]) on the
+    /// borrowed slice, so the hot path never constructs a [`Packet`].
+    /// Decisions and state transitions are bit-identical to the decode
+    /// path; frames the lenient decoder would reject are counted and
+    /// skipped instead of aborting the stream.
+    fn process_frames(
+        &mut self,
+        items: &[(u64, Timestamp, &[u8])],
+        config: &StreamConfig,
+    ) -> ShardOutcome {
+        let mut out = ShardOutcome::default();
+        for &(seq, timestamp, frame) in items {
+            let mac = MacAddr::new(frame[6..12].try_into().expect("bucketed frames hold a MAC"));
+            if config.ignored.contains(&mac) || self.onboarded.contains(&mac) {
+                out.ignored += 1;
+                continue;
+            }
+            let raw = match RawFeatures::from_frame(frame) {
+                Ok(raw) => raw,
+                Err(_) => {
+                    out.malformed += 1;
+                    continue;
+                }
+            };
+            if !self.table.contains(mac) {
+                let session =
+                    Session::open_sized(seq, timestamp, session_capacity(&config.detector));
+                if self.table.admit(mac, session).is_some() {
+                    out.evicted += 1;
+                }
+                out.opened += 1;
+            }
+            let session = self.table.get_mut(mac).expect("admitted above");
+            let event = session.offer_raw(
+                &raw,
+                timestamp,
+                seq,
+                &config.detector,
+                config.session_byte_cap,
+            );
             let reason = match event {
                 SessionEvent::Absorbed => continue,
                 SessionEvent::GapComplete => CompletionReason::IdleGap,
@@ -265,6 +325,68 @@ impl<S: SecurityService> StreamRuntime<S> {
         Ok(reports)
     }
 
+    /// Consumes a whole **frame** source through the zero-copy scan path,
+    /// then flushes. Produces exactly the reports [`StreamRuntime::run`]
+    /// would on the decoded stream, but never constructs a [`Packet`] for
+    /// a frame the wire scanner can certify.
+    ///
+    /// Unlike [`StreamRuntime::run`], malformed frames do not abort the
+    /// stream: they are counted in [`StreamStats::frames_malformed`] and
+    /// skipped, which is what a live tap needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture-container errors from the source (e.g. a
+    /// truncated pcap record header).
+    pub fn run_frames<F: FrameSource>(
+        &mut self,
+        mut source: F,
+    ) -> Result<Vec<OnboardingReport>, ParseError> {
+        let mut reports = Vec::new();
+        let mut batch: Vec<(Timestamp, Vec<u8>)> = Vec::with_capacity(self.config.batch_size);
+        loop {
+            batch.clear();
+            if source.fill_frames(&mut batch, self.config.batch_size.max(1))? == 0 {
+                break;
+            }
+            reports.extend(self.ingest_frames(&batch));
+        }
+        reports.extend(self.flush());
+        Ok(reports)
+    }
+
+    /// Ingests one batch of interleaved raw frames (the zero-copy twin of
+    /// [`StreamRuntime::ingest`]), returning the devices whose setup
+    /// phase completed inside it (in stream order). Frames too short to
+    /// carry an Ethernet header are counted as malformed and skipped.
+    pub fn ingest_frames(&mut self, frames: &[(Timestamp, Vec<u8>)]) -> Vec<OnboardingReport> {
+        let shard_count = self.shards.len();
+        let mut buckets: Vec<Vec<(u64, Timestamp, &[u8])>> = vec![Vec::new(); shard_count];
+        for (i, (timestamp, frame)) in frames.iter().enumerate() {
+            if frame.len() < 14 {
+                self.stats.frames_malformed += 1;
+                continue;
+            }
+            let mac = MacAddr::new(frame[6..12].try_into().expect("checked length"));
+            buckets[shard_of(mac, shard_count)].push((
+                self.next_seq + i as u64,
+                *timestamp,
+                frame.as_slice(),
+            ));
+        }
+        self.next_seq += frames.len() as u64;
+        self.stats.packets_in += frames.len() as u64;
+        let threads = effective_threads(self.config.threads);
+        let outcomes = {
+            let shards = &self.shards;
+            let config = &self.config;
+            map_indexed(shard_count, threads, |s| {
+                shards[s].lock().process_frames(&buckets[s], config)
+            })
+        };
+        self.absorb(outcomes, true)
+    }
+
     /// Ingests one batch of interleaved packets, returning the devices
     /// whose setup phase completed inside it (in stream order).
     pub fn ingest(&mut self, packets: &[Packet]) -> Vec<OnboardingReport> {
@@ -312,6 +434,7 @@ impl<S: SecurityService> StreamRuntime<S> {
             self.stats.sessions_opened += outcome.opened;
             self.stats.sessions_evicted += outcome.evicted;
             self.stats.packets_ignored += outcome.ignored;
+            self.stats.frames_malformed += outcome.malformed;
             resident += outcome.resident;
             completions.extend(outcome.completions);
         }
@@ -424,7 +547,7 @@ mod tests {
     use sentinel_core::{Identification, ServiceResponse};
     use sentinel_devicesim::{catalog, interleave, Testbed};
     use sentinel_fingerprint::Fingerprint;
-    use sentinel_netproto::stream::MemorySource;
+    use sentinel_netproto::stream::{MemoryFrameSource, MemorySource};
     use std::time::Duration;
 
     /// Scripted service: labels every fingerprint by its packet-column
@@ -498,6 +621,47 @@ mod tests {
         assert_eq!(stats.sessions_completed(), 12);
         assert_eq!(stats.sessions_evicted, 0);
         assert!(stats.peak_resident_sessions >= 2, "setups overlapped");
+    }
+
+    #[test]
+    fn frame_path_matches_packet_path_bit_identically() {
+        let traces = traces(10);
+        let stream = interleave(&traces, Duration::from_millis(5));
+        for &(threads, batch_size) in &[(1usize, 7usize), (2, 1024), (8, 64)] {
+            let config = StreamConfig {
+                threads,
+                batch_size,
+                ..StreamConfig::default()
+            };
+            let mut decoded = runtime(config.clone());
+            let decoded_reports = decoded.run(MemorySource::new(stream.clone())).unwrap();
+            let mut scanned = runtime(config);
+            let scanned_reports = scanned
+                .run_frames(MemoryFrameSource::from_packets(&stream))
+                .unwrap();
+            assert_eq!(scanned_reports, decoded_reports, "threads={threads}");
+            assert_eq!(scanned.stats(), decoded.stats(), "threads={threads}");
+            assert_eq!(scanned.stats().frames_malformed, 0);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_counted_and_skipped_not_fatal() {
+        let traces = traces(2);
+        let stream = interleave(&traces, Duration::from_millis(5));
+        let mut frames: Vec<(Timestamp, Vec<u8>)> =
+            stream.iter().map(|p| (p.timestamp, p.encode())).collect();
+        // A runt (no Ethernet header) and a truncated IPv4 frame.
+        frames.insert(0, (Timestamp::ZERO, vec![0xab; 9]));
+        let mut truncated = stream[0].encode();
+        truncated.truncate(20);
+        frames.insert(3, (stream[0].timestamp, truncated));
+        let mut runtime = runtime(StreamConfig::default());
+        let reports = runtime.run_frames(MemoryFrameSource::new(frames)).unwrap();
+        assert_eq!(reports.len(), 2, "both devices still onboard");
+        let stats = runtime.stats();
+        assert_eq!(stats.frames_malformed, 2);
+        assert_eq!(stats.packets_in, stream.len() as u64 + 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use sentinel_fingerprint::setup::SetupDetector;
 use sentinel_fingerprint::{FeatureExtractor, Fingerprint};
-use sentinel_netproto::{Packet, Timestamp};
+use sentinel_netproto::{Packet, RawFeatures, Timestamp};
 
 /// Why a session stopped collecting packets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,8 +54,16 @@ pub struct Session {
 impl Session {
     /// Opens a session at stream sequence number `seq`.
     pub fn open(seq: u64, now: Timestamp) -> Self {
+        Session::open_sized(seq, now, 0)
+    }
+
+    /// Opens a session with `capacity` feature slots pre-allocated.
+    ///
+    /// The runtime passes the detector's packet cap, so a session never
+    /// reallocates its feature arena while absorbing a setup burst.
+    pub fn open_sized(seq: u64, now: Timestamp, capacity: usize) -> Self {
         Session {
-            extractor: FeatureExtractor::new(),
+            extractor: FeatureExtractor::with_capacity(capacity),
             packets: 0,
             bytes: 0,
             first_seen: now,
@@ -79,15 +87,36 @@ impl Session {
         detector: &SetupDetector,
         byte_cap: u64,
     ) -> SessionEvent {
+        self.offer_raw(
+            &RawFeatures::from_packet(packet),
+            packet.timestamp,
+            seq,
+            detector,
+            byte_cap,
+        )
+    }
+
+    /// Offers one wire-scanned frame record to the session (the zero-copy
+    /// fast path). Identical decision logic and state transitions as
+    /// [`Session::offer`]: `raw.packet_size` is the frame's wire length,
+    /// so byte accounting is bit-identical to the decode path.
+    pub fn offer_raw(
+        &mut self,
+        raw: &RawFeatures,
+        timestamp: Timestamp,
+        seq: u64,
+        detector: &SetupDetector,
+        byte_cap: u64,
+    ) -> SessionEvent {
         if self.packets >= detector.min_packets
-            && packet.timestamp.saturating_since(self.last_seen) >= detector.idle_gap
+            && timestamp.saturating_since(self.last_seen) >= detector.idle_gap
         {
             return SessionEvent::GapComplete;
         }
-        self.extractor.push(packet);
+        self.extractor.push_raw(raw);
         self.packets += 1;
-        self.bytes += packet.wire_len() as u64;
-        self.last_seen = packet.timestamp;
+        self.bytes += u64::from(raw.packet_size);
+        self.last_seen = timestamp;
         self.last_seq = seq;
         if self.packets >= detector.max_packets {
             SessionEvent::CapComplete(CompletionReason::PacketCap)

@@ -19,6 +19,9 @@ pub struct StreamStats {
     pub packets_in: u64,
     /// Packets skipped: ignored MACs or devices already onboarded.
     pub packets_ignored: u64,
+    /// Raw frames the frame-ingest path dropped because even the lenient
+    /// decoder would reject them. Always zero on the decoded-packet path.
+    pub frames_malformed: u64,
     /// Sessions opened (a shed device re-opening counts again).
     pub sessions_opened: u64,
     /// Sessions that reached identification, by completion reason.
@@ -69,11 +72,12 @@ impl fmt::Display for StreamStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} packets in ({} ignored); {} sessions opened, {} completed \
+            "{} packets in ({} ignored, {} malformed); {} sessions opened, {} completed \
              (gap {}, packet-cap {}, byte-cap {}, flush {}), {} shed, peak {} resident; \
              outcomes: {} identified / {} unknown; isolation: {} strict / {} restricted / {} trusted",
             self.packets_in,
             self.packets_ignored,
+            self.frames_malformed,
             self.sessions_opened,
             self.sessions_completed(),
             self.completed_idle_gap,

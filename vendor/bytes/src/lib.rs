@@ -1,19 +1,26 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! [`Bytes`] is a cheaply-clonable immutable byte buffer backed by
-//! `Arc<[u8]>`; [`BytesMut`] is a growable builder that freezes into
-//! `Bytes`; [`BufMut`] provides the big-endian `put_*` writers the
-//! packet encoders use. Zero-copy slicing is not implemented — nothing
-//! in the workspace needs it.
+//! `Arc<[u8]>` plus a view window; [`BytesMut`] is a growable builder
+//! that freezes into `Bytes`; [`BufMut`] provides the big-endian `put_*`
+//! writers the packet encoders use. [`Bytes::slice_ref`] gives zero-copy
+//! sub-slicing: the returned buffer shares the backing allocation.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
 
 /// A cheaply clonable, immutable contiguous byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Equality, ordering and hashing are by *content* (the viewed window),
+/// so two buffers over different allocations compare equal when their
+/// bytes do — required because [`Bytes::slice_ref`] views share storage.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -21,13 +28,47 @@ impl Bytes {
     pub fn new() -> Self {
         Bytes {
             data: Arc::from(&[][..]),
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    fn whole(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes {
+            data,
+            offset: 0,
+            len,
         }
     }
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::whole(Arc::from(data))
+    }
+
+    /// Returns a buffer viewing `subset` — which must lie inside this
+    /// buffer — **without copying**: the view shares the backing
+    /// allocation, like the real crate's `slice_ref`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subset` is not a sub-slice of `self` (empty subsets
+    /// are always accepted and yield an empty buffer).
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_ref().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= base && sub - base + subset.len() <= self.len,
+            "subset is not contained in this buffer"
+        );
         Bytes {
-            data: Arc::from(data),
+            data: Arc::clone(&self.data),
+            offset: self.offset + (sub - base),
+            len: subset.len(),
         }
     }
 
@@ -40,17 +81,43 @@ impl Bytes {
 
     /// Number of bytes in the buffer.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
     }
 }
 
@@ -64,20 +131,20 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &byte in self.data.iter() {
+        for &byte in self.as_ref() {
             for c in std::ascii::escape_default(byte) {
                 write!(f, "{}", c as char)?;
             }
@@ -88,9 +155,7 @@ impl fmt::Debug for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes {
-            data: Arc::from(data.into_boxed_slice()),
-        }
+        Bytes::whole(Arc::from(data.into_boxed_slice()))
     }
 }
 
@@ -129,7 +194,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type IntoIter = std::slice::Iter<'a, u8>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.as_ref().iter()
     }
 }
 
@@ -239,7 +304,7 @@ impl BufMut for BytesMut {
 #[cfg(feature = "serde")]
 impl serde_impl::Serialize for Bytes {
     fn to_value(&self) -> serde_impl::Value {
-        <[u8] as serde_impl::Serialize>::to_value(self.data.as_ref())
+        <[u8] as serde_impl::Serialize>::to_value(self.as_ref())
     }
 }
 
@@ -281,6 +346,29 @@ mod tests {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::copy_from_slice(b"abc").to_vec(), b"abc");
         assert_eq!(Bytes::from_static(b"xyz"), Bytes::from(b"xyz".to_vec()));
+    }
+
+    #[test]
+    fn slice_ref_shares_the_backing_allocation() {
+        let whole = Bytes::copy_from_slice(b"abcdefgh");
+        let view = whole.slice_ref(&whole[2..6]);
+        assert_eq!(&view[..], b"cdef");
+        assert_eq!(Arc::strong_count(&whole.data), 2, "no copy was made");
+        // A view of a view still points at the original allocation.
+        let inner = view.slice_ref(&view[1..3]);
+        assert_eq!(&inner[..], b"de");
+        assert_eq!(Arc::strong_count(&whole.data), 3);
+        // Equality is by content, not identity.
+        assert_eq!(inner, Bytes::copy_from_slice(b"de"));
+        assert!(whole.slice_ref(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not contained")]
+    fn slice_ref_rejects_foreign_slices() {
+        let whole = Bytes::copy_from_slice(b"abcdefgh");
+        let other = [1u8; 4];
+        let _ = whole.slice_ref(&other);
     }
 
     #[test]
