@@ -1,0 +1,84 @@
+//! Batched vs per-item stage-1 classification.
+//!
+//! The streaming runtime classifies every completion of an ingest tick
+//! as one batch: forests outermost, fingerprints innermost, so each
+//! packed arena stays cache-resident while the whole batch walks it
+//! (`Identifier::classify_batch`). Per-item classification cycles all
+//! 27 arenas per fingerprint instead. Results are bit-identical
+//! (asserted in sentinel-core's tests); this measures only the
+//! memory-access effect, per batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_core::{FingerprintDataset, Identifier, IdentifierConfig};
+use sentinel_devicesim::{catalog, Testbed};
+use sentinel_fingerprint::{extract, Fingerprint, FixedFingerprint};
+
+fn holdout_fingerprints(n: usize) -> Vec<(Fingerprint, FixedFingerprint)> {
+    let devices = catalog();
+    let testbed = Testbed::new(77);
+    (0..n)
+        .map(|i| {
+            let device = &devices[i % devices.len()];
+            let trace = testbed.setup_run(&device.profile, (i / devices.len()) as u64);
+            let full = extract(&trace.packets);
+            let fixed = FixedFingerprint::from_fingerprint(&full);
+            (full, fixed)
+        })
+        .collect()
+}
+
+fn batched_classify(c: &mut Criterion) {
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, 10, 42);
+    let identifier = Identifier::train(&dataset, &IdentifierConfig::default());
+    let probes = holdout_fingerprints(256);
+
+    let mut group = c.benchmark_group("batched_classify");
+    for batch in [8usize, 64, 256] {
+        let fixed: Vec<&FixedFingerprint> = probes[..batch].iter().map(|(_, f)| f).collect();
+        // The two paths must agree before we time them.
+        let per_item: Vec<Vec<usize>> = fixed.iter().map(|f| identifier.classify(f)).collect();
+        assert_eq!(per_item, identifier.classify_batch(&fixed));
+        group.bench_with_input(BenchmarkId::new("sequential", batch), &fixed, |b, fixed| {
+            b.iter(|| -> Vec<Vec<usize>> { fixed.iter().map(|f| identifier.classify(f)).collect() })
+        });
+        group.bench_with_input(BenchmarkId::new("batched", batch), &fixed, |b, fixed| {
+            b.iter(|| identifier.classify_batch(fixed))
+        });
+    }
+    group.finish();
+}
+
+fn batched_identify(c: &mut Criterion) {
+    // End-to-end identification of one ingest tick's completions:
+    // batched stage 1 + sequential stage 2 against the fully per-item
+    // path (stage 2 dominates only for discriminated fingerprints).
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, 10, 42);
+    let identifier = Identifier::train(&dataset, &IdentifierConfig::default());
+    let probes = holdout_fingerprints(64);
+    let items: Vec<(&Fingerprint, &FixedFingerprint)> =
+        probes.iter().map(|(full, fixed)| (full, fixed)).collect();
+
+    let mut group = c.benchmark_group("batched_identify");
+    group.bench_function("sequential_64", |b| {
+        b.iter(|| -> Vec<_> {
+            items
+                .iter()
+                .map(|&(full, fixed)| identifier.identify(full, fixed))
+                .collect()
+        })
+    });
+    group.bench_function("batched_64", |b| {
+        b.iter(|| identifier.identify_batch(&items))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = batched_classify, batched_identify
+}
+criterion_main!(benches);

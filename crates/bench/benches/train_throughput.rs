@@ -1,0 +1,65 @@
+//! Training throughput: the full 27-forest classifier bank (the
+//! IoTSSP's cold-start cost, and the retraining cost when device-types
+//! are added in bulk), plus the split-search ablation — histogram
+//! sweeps over pre-binned columns (`RandomForest::fit`) against the
+//! exact per-node sorted scan (`RandomForest::fit_exact`). Both paths
+//! produce bit-identical forests (asserted in sentinel-ml's property
+//! tests); only the node cost differs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_core::{BankConfig, ClassifierBank, FingerprintDataset};
+use sentinel_devicesim::catalog;
+use sentinel_ml::{Dataset, ForestConfig, RandomForest};
+
+/// The paper's per-type training shape: `n` positives + `10·n` negatives
+/// over the 276 Table I features, binary labels.
+fn per_type_dataset(rows: usize) -> Dataset {
+    let mut data = Dataset::new(276);
+    let mut row = vec![0.0; 276];
+    for i in 0..rows {
+        for (j, cell) in row.iter_mut().enumerate() {
+            // Small-cardinality cells, like the real bit/port-class
+            // features the histogram path exploits.
+            *cell = ((i * 31 + j * 17) % 7) as f64;
+        }
+        data.push(&row, usize::from(i % 11 == 0));
+    }
+    data
+}
+
+fn bank_training(c: &mut Criterion) {
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, 10, 21);
+    let config = BankConfig {
+        forest: ForestConfig::default().with_trees(50),
+        ..BankConfig::default()
+    };
+    let mut group = c.benchmark_group("train_throughput");
+    group.sample_size(10);
+    group.bench_function("bank_27_forests", |b| {
+        b.iter(|| ClassifierBank::train(&dataset, &config))
+    });
+    group.finish();
+}
+
+fn split_search(c: &mut Criterion) {
+    let data = per_type_dataset(220);
+    let config = ForestConfig::default().with_seed(1).with_threads(1);
+    let mut group = c.benchmark_group("split_search");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("histogram", 220), &data, |b, data| {
+        b.iter(|| RandomForest::fit(data, &config))
+    });
+    group.bench_with_input(BenchmarkId::new("exact", 220), &data, |b, data| {
+        b.iter(|| RandomForest::fit_exact(data, &config))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bank_training, split_search
+}
+criterion_main!(benches);

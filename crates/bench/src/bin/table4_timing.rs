@@ -25,6 +25,7 @@ fn main() {
     let iterations: u64 = args.get("iterations", 270);
     let seed: u64 = args.get("seed", 42);
     let threads: usize = args.get("threads", 0);
+    let train_samples: usize = args.get("train-samples", 3);
 
     print!(
         "{}",
@@ -75,6 +76,20 @@ fn main() {
         report.mean_edit_distances
     );
 
+    println!(
+        "\nbatched stage 1 (64-fingerprint tick): sequential {} vs batched {}",
+        fmt(&report.batch_classify_sequential),
+        fmt(&report.batch_classify_batched),
+    );
+
+    let training = timing::measure_training(train_runs, seed, threads, train_samples);
+    println!(
+        "training: 27-forest bank {}; one forest histogram {} vs exact scan {}",
+        fmt(&training.bank_training),
+        fmt(&training.forest_fit_histogram),
+        fmt(&training.forest_fit_exact),
+    );
+
     if let Some(path) = args.get_str("json") {
         let body = [
             json_row("one_classification", &report.one_classification),
@@ -83,12 +98,24 @@ fn main() {
             json_row("all_classifications", &report.all_classifications),
             json_row("discrimination_step", &report.discrimination_step),
             json_row("type_identification", &report.type_identification),
+            json_row(
+                "batch_classify_sequential",
+                &report.batch_classify_sequential,
+            ),
+            json_row("batch_classify_batched", &report.batch_classify_batched),
+        ]
+        .join(",\n");
+        let train_body = [
+            json_row("bank_training", &training.bank_training),
+            json_row("forest_fit_histogram", &training.forest_fit_histogram),
+            json_row("forest_fit_exact", &training.forest_fit_exact),
         ]
         .join(",\n");
         let json = format!(
             "{{\n  \"bench\": \"table4_timing\",\n  \"train_runs\": {train_runs},\n  \
              \"iterations\": {iterations},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
-             \"discrimination_rate\": {:.4},\n  \"mean_edit_distances\": {:.4},\n  \"steps\": {{\n{body}\n  }}\n}}\n",
+             \"discrimination_rate\": {:.4},\n  \"mean_edit_distances\": {:.4},\n  \"steps\": {{\n{body}\n  }},\n  \
+             \"training\": {{\n{train_body}\n  }}\n}}\n",
             report.discrimination_rate, report.mean_edit_distances
         );
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));

@@ -1,11 +1,14 @@
-//! Wall-clock timing of the identification stages (Table IV).
+//! Wall-clock timing of the identification stages (Table IV), plus
+//! training throughput and the batched-vs-sequential classification
+//! comparison.
 
 use std::time::{Duration, Instant};
 
-use sentinel_core::{FingerprintDataset, Identifier, IdentifierConfig};
+use sentinel_core::{BankConfig, ClassifierBank, FingerprintDataset, Identifier, IdentifierConfig};
 use sentinel_devicesim::{catalog, Testbed};
 use sentinel_fingerprint::editdist::normalized_distance;
 use sentinel_fingerprint::{extract, extract_frames, FixedFingerprint};
+use sentinel_ml::{Dataset, RandomForest};
 use sentinel_sdn::stats::Summary;
 
 /// Timing measurements mirroring the rows of Table IV.
@@ -28,6 +31,76 @@ pub struct TimingReport {
     pub mean_edit_distances: f64,
     /// Fraction of identifications requiring discrimination.
     pub discrimination_rate: f64,
+    /// All 27 classifications of a 64-fingerprint batch, one
+    /// [`Identifier::classify`] call per item (fingerprint-major).
+    pub batch_classify_sequential: Summary,
+    /// The same batch through [`Identifier::classify_batch`]
+    /// (forest-major) — identical results, cache-friendlier walk.
+    pub batch_classify_batched: Summary,
+}
+
+/// Training-throughput measurements: the full classifier bank and the
+/// split-search ablation (histogram vs exact — bit-identical forests).
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Full 27-forest bank training (histogram split search).
+    pub bank_training: Summary,
+    /// One per-type forest fit via the histogram path.
+    pub forest_fit_histogram: Summary,
+    /// One per-type forest fit via the exact sorted-scan reference.
+    pub forest_fit_exact: Summary,
+}
+
+/// Measures training throughput on the same corpus shape as
+/// [`measure`]: `samples` timed trainings of the full bank, plus
+/// `samples` single-forest fits through each split-search path (on a
+/// real one-vs-rest slice of the fingerprint data, sequential so the
+/// per-forest node cost is what's compared).
+pub fn measure_training(
+    train_runs: u64,
+    seed: u64,
+    threads: usize,
+    samples: usize,
+) -> TrainingReport {
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, train_runs, seed);
+    let mut config = BankConfig {
+        threads,
+        ..BankConfig::default()
+    };
+    config.forest.threads = threads;
+    let mut bank_training = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        let bank = ClassifierBank::train(&dataset, &config);
+        bank_training.push(start.elapsed());
+        std::hint::black_box(&bank);
+    }
+    // One-vs-rest slice: type 0 against everything, the shape every
+    // per-type forest trains on.
+    let mut binary = Dataset::new(dataset.fixed(0).dimensions());
+    for i in 0..dataset.len() {
+        binary.push(
+            dataset.fixed(i).as_slice(),
+            usize::from(dataset.label(i) == 0),
+        );
+    }
+    let forest_config = config.forest.clone().with_threads(1);
+    let mut forest_fit_histogram = Vec::with_capacity(samples);
+    let mut forest_fit_exact = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(RandomForest::fit(&binary, &forest_config));
+        forest_fit_histogram.push(start.elapsed());
+        let start = Instant::now();
+        std::hint::black_box(RandomForest::fit_exact(&binary, &forest_config));
+        forest_fit_exact.push(start.elapsed());
+    }
+    TrainingReport {
+        bank_training: Summary::of_durations_ms(&bank_training),
+        forest_fit_histogram: Summary::of_durations_ms(&forest_fit_histogram),
+        forest_fit_exact: Summary::of_durations_ms(&forest_fit_exact),
+    }
 }
 
 /// Measures the Table IV rows on a trained pipeline.
@@ -59,6 +132,9 @@ pub fn measure(train_runs: u64, iterations: u64, seed: u64, threads: usize) -> T
     let mut edit_distances = 0usize;
     let mut discriminated = 0usize;
     let mut total = 0usize;
+    // Holdout fingerprints retained for the batched-classification
+    // comparison after the per-item loop.
+    let mut batch_probes: Vec<FixedFingerprint> = Vec::new();
 
     // Warm caches and lazy allocations so the first measured iteration
     // is not an outlier.
@@ -126,6 +202,28 @@ pub fn measure(train_runs: u64, iterations: u64, seed: u64, threads: usize) -> T
             discrimination_step.push(elapsed.saturating_sub(classify));
         }
         let _ = candidates;
+        if batch_probes.len() < 64 {
+            batch_probes.push(fixed.clone());
+        }
+    }
+
+    // Batched vs sequential stage-1 classification over one reused
+    // 64-fingerprint batch (the streaming runtime's tick shape): same
+    // candidates either way; only the arena walk order differs.
+    let mut batch_classify_sequential = Vec::new();
+    let mut batch_classify_batched = Vec::new();
+    if !batch_probes.is_empty() {
+        let refs: Vec<&FixedFingerprint> = batch_probes.iter().collect();
+        const BATCH_REPEATS: usize = 24;
+        for _ in 0..BATCH_REPEATS {
+            let start = Instant::now();
+            let sequential: Vec<Vec<usize>> = refs.iter().map(|f| identifier.classify(f)).collect();
+            batch_classify_sequential.push(start.elapsed());
+            let start = Instant::now();
+            let batched = identifier.classify_batch(&refs);
+            batch_classify_batched.push(start.elapsed());
+            assert_eq!(sequential, batched, "batched classification diverged");
+        }
     }
 
     TimingReport {
@@ -145,6 +243,8 @@ pub fn measure(train_runs: u64, iterations: u64, seed: u64, threads: usize) -> T
         } else {
             discriminated as f64 / total as f64
         },
+        batch_classify_sequential: Summary::of_durations_ms(&batch_classify_sequential),
+        batch_classify_batched: Summary::of_durations_ms(&batch_classify_batched),
     }
 }
 

@@ -213,13 +213,47 @@ impl Identifier {
     /// Identifies a device from its fingerprints.
     pub fn identify(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> Identification {
         match self.config.mode {
-            IdentifyMode::TwoStage => self.identify_two_stage(full, fixed),
-            IdentifyMode::RfOnly => self.identify_rf_only(fixed),
+            IdentifyMode::TwoStage => self.discriminate(full, self.classify(fixed)),
+            IdentifyMode::RfOnly => self.rf_best(fixed, self.classify(fixed)),
             IdentifyMode::EditOnly => {
                 let all: Vec<usize> = (0..self.bank.n_types()).collect();
                 let scores = self.dissimilarity_scores(full, &all);
                 self.pick_minimum(all, scores, false)
             }
+        }
+    }
+
+    /// Identifies a whole batch of devices, returning one
+    /// [`Identification`] per item in order — bit-identical to calling
+    /// [`Identifier::identify`] on each item in sequence.
+    ///
+    /// Stage 1 is RNG-free, so it runs batched through
+    /// [`Identifier::classify_batch`] (forest-major, cache-friendly);
+    /// stage 2 consumes the discrimination RNG and therefore runs
+    /// strictly sequentially in item order, exactly as the
+    /// per-item path would.
+    pub fn identify_batch(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint)],
+    ) -> Vec<Identification> {
+        match self.config.mode {
+            IdentifyMode::TwoStage | IdentifyMode::RfOnly => {
+                let fixed: Vec<&FixedFingerprint> = items.iter().map(|&(_, f)| f).collect();
+                let candidates = self.classify_batch(&fixed);
+                items
+                    .iter()
+                    .zip(candidates)
+                    .map(|(&(full, fixed), candidates)| match self.config.mode {
+                        IdentifyMode::TwoStage => self.discriminate(full, candidates),
+                        _ => self.rf_best(fixed, candidates),
+                    })
+                    .collect()
+            }
+            // Edit-only has no stage 1 to batch.
+            IdentifyMode::EditOnly => items
+                .iter()
+                .map(|&(full, fixed)| self.identify(full, fixed))
+                .collect(),
         }
     }
 
@@ -235,14 +269,39 @@ impl Identifier {
             .collect()
     }
 
+    /// Stage-1 classification of a whole batch: per-item candidate label
+    /// sets, identical to calling [`Identifier::classify`] on each item.
+    ///
+    /// The loop order is inverted relative to the per-item path —
+    /// *forests outermost, fingerprints innermost* — so each packed
+    /// arena is walked by every fingerprint back-to-back while it is
+    /// cache-resident, instead of all 27 arenas being cycled through per
+    /// fingerprint. Labels are visited in increasing order, so each
+    /// item's candidate vector is pushed in exactly the per-item order.
+    pub fn classify_batch(&self, fixed: &[&FixedFingerprint]) -> Vec<Vec<usize>> {
+        let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); fixed.len()];
+        let rows: Vec<&[f64]> = fixed.iter().map(|f| f.as_slice()).collect();
+        let mut accepted = Vec::with_capacity(rows.len());
+        for (label, forest) in self.packed.iter().enumerate() {
+            forest.accepts_batch(&rows, &mut accepted);
+            for (slot, &ok) in candidates.iter_mut().zip(&accepted) {
+                if ok {
+                    slot.push(label);
+                }
+            }
+        }
+        candidates
+    }
+
     /// Whether type `label`'s classifier accepts the fingerprint, via
     /// the packed arena (identical to [`ClassifierBank::accepts`]).
     pub fn accepts(&self, label: usize, fixed: &FixedFingerprint) -> bool {
         self.packed[label].accepts(fixed.as_slice())
     }
 
-    fn identify_two_stage(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> Identification {
-        let candidates = self.classify(fixed);
+    /// Stage 2 of the two-stage pipeline, given the stage-1 candidate
+    /// set (from [`Identifier::classify`] or a batched run).
+    fn discriminate(&self, full: &Fingerprint, candidates: Vec<usize>) -> Identification {
         match candidates.len() {
             0 => Identification {
                 outcome: Outcome::Unknown,
@@ -265,8 +324,9 @@ impl Identifier {
         }
     }
 
-    fn identify_rf_only(&self, fixed: &FixedFingerprint) -> Identification {
-        let candidates = self.classify(fixed);
+    /// Confidence-based tie-break over a stage-1 candidate set (the
+    /// `RfOnly` ablation's second half).
+    fn rf_best(&self, fixed: &FixedFingerprint, candidates: Vec<usize>) -> Identification {
         if candidates.is_empty() {
             return Identification {
                 outcome: Outcome::Unknown,
@@ -575,6 +635,60 @@ mod tests {
         i: usize,
     ) -> Identification {
         identifier.identify(dataset.full(i), dataset.fixed(i))
+    }
+
+    /// Collects (full, fixed) probe pairs: held-out runs of the three
+    /// trained types plus the training corpus itself, so the batch mixes
+    /// zero-, one- and many-candidate stage-1 outcomes.
+    fn probe_pairs(dataset: &FingerprintDataset) -> Vec<(Fingerprint, FixedFingerprint)> {
+        let devices: Vec<_> = catalog().into_iter().take(3).collect();
+        let testbed = Testbed::new(123);
+        let mut probes: Vec<(Fingerprint, FixedFingerprint)> = devices
+            .iter()
+            .flat_map(|device| (0..3).map(|run| testbed.setup_run(&device.profile, run)))
+            .map(|trace| {
+                let full = extract(&trace.packets);
+                let fixed = FixedFingerprint::from_fingerprint(&full);
+                (full, fixed)
+            })
+            .collect();
+        probes.extend(
+            (0..dataset.len()).map(|i| (dataset.full(i).clone(), dataset.fixed(i).clone())),
+        );
+        probes
+    }
+
+    #[test]
+    fn batched_identification_is_bit_identical_to_sequential() {
+        // Two identically-trained identifiers (each with its own fresh
+        // discrimination RNG): one identifies per item in order, the
+        // other in one batch. Every Identification — outcome, candidate
+        // set, and stage-2 scores — must agree bit-for-bit.
+        for mode in [IdentifyMode::TwoStage, IdentifyMode::RfOnly] {
+            let devices: Vec<_> = catalog().into_iter().take(3).collect();
+            let dataset = FingerprintDataset::collect(&devices, 8, 5);
+            let sequential = Identifier::train(&dataset, &fast_config(mode));
+            let batched = Identifier::train(&dataset, &fast_config(mode));
+            let probes = probe_pairs(&dataset);
+            let items: Vec<(&Fingerprint, &FixedFingerprint)> =
+                probes.iter().map(|(full, fixed)| (full, fixed)).collect();
+            let one_by_one: Vec<Identification> = items
+                .iter()
+                .map(|&(full, fixed)| sequential.identify(full, fixed))
+                .collect();
+            let in_batch = batched.identify_batch(&items);
+            assert_eq!(one_by_one, in_batch, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn classify_batch_matches_classify_per_item() {
+        let (identifier, dataset) = train_on_three();
+        let fixed: Vec<&FixedFingerprint> = (0..dataset.len()).map(|i| dataset.fixed(i)).collect();
+        let batch = identifier.classify_batch(&fixed);
+        for (i, candidates) in batch.iter().enumerate() {
+            assert_eq!(candidates, &identifier.classify(fixed[i]), "item {i}");
+        }
     }
 
     #[test]

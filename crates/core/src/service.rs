@@ -21,6 +21,23 @@ use crate::{FingerprintDataset, Identifier, IdentifierConfig};
 pub trait SecurityService {
     /// Identifies a fingerprint and returns the enforcement decision.
     fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse;
+
+    /// Assesses a whole batch of fingerprints, returning one response
+    /// per item in order.
+    ///
+    /// Must be observably equivalent to calling
+    /// [`SecurityService::assess`] on each item in sequence — the
+    /// default implementation does exactly that. Implementations may
+    /// override it to batch the RNG-free parts of the pipeline (the
+    /// reference IoTSSP pushes all stage-1 classifications through one
+    /// forest at a time); any stateful part must still run in item
+    /// order.
+    fn assess_batch(&self, items: &[(&Fingerprint, &FixedFingerprint)]) -> Vec<ServiceResponse> {
+        items
+            .iter()
+            .map(|&(full, fixed)| self.assess(full, fixed))
+            .collect()
+    }
 }
 
 /// One trained service can back several gateways (or a gateway and a
@@ -28,6 +45,10 @@ pub trait SecurityService {
 impl<S: SecurityService + ?Sized> SecurityService for &S {
     fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse {
         (**self).assess(full, fixed)
+    }
+
+    fn assess_batch(&self, items: &[(&Fingerprint, &FixedFingerprint)]) -> Vec<ServiceResponse> {
+        (**self).assess_batch(items)
     }
 }
 
@@ -84,11 +105,10 @@ impl IoTSecurityService {
     pub fn vulndb(&self) -> &StaticVulnDb {
         &self.vulndb
     }
-}
 
-impl SecurityService for IoTSecurityService {
-    fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse {
-        let identification = self.identifier.identify(full, fixed);
+    /// Turns a finished identification into the enforcement decision
+    /// (vulnerability lookup, isolation level, endpoint whitelist).
+    fn respond(&self, identification: crate::report::Identification) -> ServiceResponse {
         let type_name = match &identification.outcome {
             Outcome::Identified { name, .. } => Some(name.clone()),
             Outcome::Unknown => None,
@@ -106,6 +126,24 @@ impl SecurityService for IoTSecurityService {
             permitted_endpoints,
             user_notification,
         }
+    }
+}
+
+impl SecurityService for IoTSecurityService {
+    fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse {
+        self.respond(self.identifier.identify(full, fixed))
+    }
+
+    /// Batched assessment: stage-1 classification runs forest-major over
+    /// the whole batch ([`Identifier::identify_batch`]); discrimination
+    /// and the vulnerability lookups stay in item order, so the
+    /// responses are bit-identical to per-item [`Self::assess`] calls.
+    fn assess_batch(&self, items: &[(&Fingerprint, &FixedFingerprint)]) -> Vec<ServiceResponse> {
+        self.identifier
+            .identify_batch(items)
+            .into_iter()
+            .map(|identification| self.respond(identification))
+            .collect()
     }
 }
 
@@ -171,6 +209,25 @@ mod tests {
         let response = service.assess(&full, &fixed);
         assert_eq!(response.identification.outcome, Outcome::Unknown);
         assert_eq!(response.isolation, IsolationLevel::Strict);
+    }
+
+    #[test]
+    fn assess_batch_is_bit_identical_to_sequential_assess() {
+        // Two identically-trained services (fresh discrimination RNGs):
+        // responses from one batched call must equal per-item calls in
+        // order, including isolation decisions and whitelists.
+        let sequential = fast_service(3);
+        let batched = fast_service(3);
+        let probes: Vec<(Fingerprint, FixedFingerprint)> = (0..3)
+            .flat_map(|device| (0..3).map(move |run| fingerprints_of(device, run)))
+            .collect();
+        let items: Vec<(&Fingerprint, &FixedFingerprint)> =
+            probes.iter().map(|(full, fixed)| (full, fixed)).collect();
+        let one_by_one: Vec<ServiceResponse> = items
+            .iter()
+            .map(|&(full, fixed)| sequential.assess(full, fixed))
+            .collect();
+        assert_eq!(one_by_one, batched.assess_batch(&items));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::binning::BinnedDataset;
 use crate::parallel;
 use crate::sampling::bootstrap_indices;
 use crate::tree::argmax;
@@ -106,10 +107,31 @@ pub struct RandomForest {
 impl RandomForest {
     /// Fits a forest on `data`.
     ///
+    /// Split search runs over pre-binned feature columns (built once per
+    /// fit, shared read-only by every tree and worker thread) with
+    /// cumulative histogram sweeps — bit-identical trees to the exact
+    /// sorted-scan path ([`RandomForest::fit_exact`]), at a fraction of
+    /// the node cost for the small-cardinality Table I features.
+    ///
     /// # Panics
     ///
     /// Panics if `data` is empty or `config.n_trees` is zero.
     pub fn fit(data: &Dataset, config: &ForestConfig) -> Self {
+        Self::fit_inner(data, config, true)
+    }
+
+    /// Fits a forest with the exact per-node sorted-scan split search —
+    /// the reference implementation [`RandomForest::fit`] must match
+    /// bit-for-bit (kept for differential tests and benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `config.n_trees` is zero.
+    pub fn fit_exact(data: &Dataset, config: &ForestConfig) -> Self {
+        Self::fit_inner(data, config, false)
+    }
+
+    fn fit_inner(data: &Dataset, config: &ForestConfig, binned: bool) -> Self {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(config.n_trees > 0, "a forest needs at least one tree");
         let tree_config = TreeConfig {
@@ -132,12 +154,18 @@ impl RandomForest {
                 (sample, tree_seed)
             })
             .collect();
+        let bins = binned.then(|| BinnedDataset::build(data));
         let threads = parallel::effective_threads(config.threads);
         let fitted: Vec<(DecisionTree, Vec<(usize, usize)>)> =
             parallel::map_indexed(config.n_trees, threads, |t| {
                 let (sample, tree_seed) = &plans[t];
                 let mut tree_rng = StdRng::seed_from_u64(*tree_seed);
-                let tree = DecisionTree::fit_on(data, sample, &tree_config, &mut tree_rng);
+                let tree = match &bins {
+                    Some(bins) => {
+                        DecisionTree::fit_binned(data, bins, sample, &tree_config, &mut tree_rng)
+                    }
+                    None => DecisionTree::fit_on(data, sample, &tree_config, &mut tree_rng),
+                };
                 // Out-of-bag votes: each tree votes on the samples its
                 // bootstrap missed, giving a free generalization
                 // estimate (Breiman 2001).

@@ -5,6 +5,8 @@
 //! thin, this crate implements the required pieces from scratch:
 //!
 //! * [`Dataset`] — a dense design matrix with integer class labels.
+//! * [`binning`] — lossless per-column pre-binning for histogram-based
+//!   split finding (bit-identical trees, no per-node sorting).
 //! * [`DecisionTree`] — CART with Gini impurity and per-split random
 //!   feature subsampling.
 //! * [`RandomForest`] — bagged trees with majority vote and class
@@ -39,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binning;
 pub mod crossval;
 mod data;
 mod forest;
@@ -48,6 +51,7 @@ pub mod parallel;
 pub mod sampling;
 mod tree;
 
+pub use binning::BinnedDataset;
 pub use data::Dataset;
 pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
 pub use packed::PackedForest;

@@ -242,6 +242,34 @@ impl PackedForest {
             Arena::Narrow(nodes) => accepts_in(nodes, &self.roots, row),
         }
     }
+
+    /// Binary acceptance over a whole batch of rows, appended to `out`
+    /// (which is cleared first).
+    ///
+    /// Each verdict is exactly [`PackedForest::accepts`] on that row;
+    /// the point of the batch entry is the memory-access pattern: one
+    /// forest's arena is walked by every row back-to-back, so when the
+    /// caller loops *forests outermost and fingerprints innermost* (the
+    /// identification bank's batched stage 1), the arena the rows share
+    /// stays cache-resident across the batch instead of being evicted by
+    /// the other 26 forests between every pair of visits.
+    pub fn accepts_batch(&self, rows: &[&[f64]], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(rows.len());
+        if self.n_classes != 2 {
+            out.extend(rows.iter().map(|row| self.predict(row) == 1));
+            return;
+        }
+        // One arena dispatch per batch, not per row.
+        match &self.arena {
+            Arena::Wide(nodes) => {
+                out.extend(rows.iter().map(|row| accepts_in(nodes, &self.roots, row)));
+            }
+            Arena::Narrow(nodes) => {
+                out.extend(rows.iter().map(|row| accepts_in(nodes, &self.roots, row)));
+            }
+        }
+    }
 }
 
 /// Converts to 16-byte nodes iff every threshold survives the `f32`

@@ -4,6 +4,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::binning::{BinnedDataset, HistScratch};
 use crate::Dataset;
 
 /// Training parameters for a [`DecisionTree`].
@@ -66,6 +67,15 @@ pub struct DecisionTree {
     n_classes: usize,
 }
 
+/// Per-fit split-search inputs threaded through the build recursion:
+/// the training rows, the optional pre-binned columns, and the reusable
+/// histogram scratch.
+struct FitContext<'a> {
+    data: &'a Dataset,
+    bins: Option<&'a BinnedDataset>,
+    scratch: HistScratch,
+}
+
 impl DecisionTree {
     /// Fits a tree on `data` using all rows.
     ///
@@ -78,13 +88,46 @@ impl DecisionTree {
     }
 
     /// Fits a tree on the rows selected by `indices` (used for bootstrap
-    /// bagging; indices may repeat).
+    /// bagging; indices may repeat) with the exact sorted-scan split
+    /// search.
     ///
     /// # Panics
     ///
     /// Panics if `indices` is empty.
     pub fn fit_on(
         data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::fit_inner(data, None, indices, config, rng)
+    }
+
+    /// Fits a tree like [`DecisionTree::fit_on`], but finds splits with
+    /// cumulative histogram sweeps over the pre-binned columns in `bins`
+    /// (which must have been built from this `data`). The binning is
+    /// lossless — bins are the feature's actual distinct values — so the
+    /// fitted tree is **bit-identical** to [`DecisionTree::fit_on`] with
+    /// the same RNG state; only the per-node cost changes, from
+    /// `O(n log n)` sorting to `O(n + bins)` counting per candidate
+    /// feature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_binned(
+        data: &Dataset,
+        bins: &BinnedDataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self::fit_inner(data, Some(bins), indices, config, rng)
+    }
+
+    fn fit_inner(
+        data: &Dataset,
+        bins: Option<&BinnedDataset>,
         indices: &[usize],
         config: &TreeConfig,
         rng: &mut impl Rng,
@@ -102,7 +145,12 @@ impl DecisionTree {
             n_classes,
         };
         let mut work = indices.to_vec();
-        tree.build(data, &mut work, 0, config, rng);
+        let mut ctx = FitContext {
+            data,
+            bins,
+            scratch: HistScratch::default(),
+        };
+        tree.build(&mut ctx, &mut work, 0, config, rng);
         tree
     }
 
@@ -203,18 +251,23 @@ impl DecisionTree {
     /// Builds the subtree over `indices`, returning its root node id.
     fn build(
         &mut self,
-        data: &Dataset,
+        ctx: &mut FitContext<'_>,
         indices: &mut [usize],
         depth: usize,
         config: &TreeConfig,
         rng: &mut impl Rng,
     ) -> usize {
+        let data = ctx.data;
         let counts = self.class_counts(data, indices);
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
         if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
             return self.push_leaf(counts);
         }
-        match self.best_split(data, indices, config, rng) {
+        let split = match ctx.bins {
+            Some(bins) => self.best_split_hist(data, bins, &mut ctx.scratch, indices, config, rng),
+            None => self.best_split(data, indices, config, rng),
+        };
+        match split {
             Some((feature, threshold, weighted_child_gini)) => {
                 let split_at = partition(data, indices, feature, threshold);
                 if split_at < config.min_samples_leaf
@@ -229,8 +282,8 @@ impl DecisionTree {
                 let parent_gini = gini(&counts, indices.len());
                 let n_samples = indices.len();
                 let (left_idx, right_idx) = indices.split_at_mut(split_at);
-                let left = self.build(data, left_idx, depth + 1, config, rng);
-                let right = self.build(data, right_idx, depth + 1, config, rng);
+                let left = self.build(ctx, left_idx, depth + 1, config, rng);
+                let right = self.build(ctx, right_idx, depth + 1, config, rng);
                 self.features[id] = u32::try_from(feature).expect("feature id fits u32");
                 self.thresholds[id] = threshold;
                 self.lefts[id] = u32::try_from(left).expect("node id fits u32");
@@ -333,6 +386,114 @@ impl DecisionTree {
                 if best.is_none_or(|(g, _, _)| weighted + 1e-12 < g) {
                     best = Some((weighted, feature, (value + next_value) / 2.0));
                 }
+            }
+        }
+        best.map(|(weighted, feature, threshold)| (feature, threshold, weighted))
+    }
+
+    /// The histogram twin of [`DecisionTree::best_split`]: instead of
+    /// sorting the node's column per candidate feature, count the node's
+    /// rows into per-bin class histograms (bins = the feature's distinct
+    /// values, pre-computed in `bins`) and sweep the bins cumulatively.
+    ///
+    /// The sweep probes exactly the thresholds the sorted scan would —
+    /// midpoints between adjacent distinct values *present in the node*
+    /// (empty bins between them are skipped, so the midpoint spans them
+    /// just as the sort would) — with identical left/right class counts,
+    /// in the same ascending order, under the same strict-improvement
+    /// tolerance. Constant-in-node features are skipped without counting
+    /// against the candidate budget, exactly like the exact scan, so the
+    /// RNG stream and the returned split are bit-identical.
+    fn best_split_hist(
+        &self,
+        data: &Dataset,
+        bins: &BinnedDataset,
+        scratch: &mut HistScratch,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Option<(usize, f64, f64)> {
+        let n_features = data.n_features();
+        let mut candidates: Vec<usize> = (0..n_features).collect();
+        let limit = match config.n_candidate_features {
+            Some(k) => {
+                candidates.shuffle(rng);
+                k.max(1).min(n_features)
+            }
+            None => n_features,
+        };
+        let total = indices.len();
+        let n_classes = self.n_classes;
+        let parent_counts = self.class_counts(data, indices);
+        let mut best: Option<(f64, usize, f64)> = None;
+        let mut examined = 0usize;
+        let mut left_counts = vec![0usize; n_classes];
+        let mut right_counts = vec![0usize; n_classes];
+        for &feature in &candidates {
+            if examined >= limit {
+                break;
+            }
+            let n_bins = bins.n_bins(feature);
+            if n_bins <= 1 {
+                continue; // globally constant feature: no threshold exists
+            }
+            let codes = bins.column(feature);
+            let hist = scratch.zeroed(n_bins, n_classes);
+            for &i in indices {
+                hist[codes[i] as usize * n_classes + data.label(i)] += 1;
+            }
+            let hist: &[u32] = hist;
+            // A feature constant *within the node* (one non-empty bin)
+            // does not count against the candidate budget — the exact
+            // scan's `column[0] == column[total - 1]` check.
+            let mut present = 0usize;
+            for b in 0..n_bins {
+                if hist[b * n_classes..(b + 1) * n_classes]
+                    .iter()
+                    .any(|&c| c > 0)
+                {
+                    present += 1;
+                    if present >= 2 {
+                        break;
+                    }
+                }
+            }
+            if present < 2 {
+                continue;
+            }
+            examined += 1;
+            let values = bins.bin_values(feature);
+            left_counts.fill(0);
+            right_counts.copy_from_slice(&parent_counts);
+            let mut n_left = 0usize;
+            let mut prev_value = 0.0f64;
+            let mut started = false;
+            for b in 0..n_bins {
+                let bin = &hist[b * n_classes..(b + 1) * n_classes];
+                let bin_total: usize = bin.iter().map(|&c| c as usize).sum();
+                if bin_total == 0 {
+                    continue;
+                }
+                let value = values[b];
+                if started {
+                    // Left holds every present value below `value`; the
+                    // candidate threshold is the same midpoint the sorted
+                    // scan evaluates between adjacent present values.
+                    let n_right = total - n_left;
+                    let weighted = (n_left as f64 * gini(&left_counts, n_left)
+                        + n_right as f64 * gini(&right_counts, n_right))
+                        / total as f64;
+                    if best.is_none_or(|(g, _, _)| weighted + 1e-12 < g) {
+                        best = Some((weighted, feature, (prev_value + value) / 2.0));
+                    }
+                }
+                for (class, &count) in bin.iter().enumerate() {
+                    left_counts[class] += count as usize;
+                    right_counts[class] -= count as usize;
+                }
+                n_left += bin_total;
+                prev_value = value;
+                started = true;
             }
         }
         best.map(|(weighted, feature, threshold)| (feature, threshold, weighted))

@@ -1,0 +1,87 @@
+//! Differential property tests for histogram-based split finding: the
+//! pre-binned cumulative-sweep search must produce **bit-identical**
+//! trees and forests to the exact per-node sorted-scan reference, for
+//! any dataset shape and any thread count. `PartialEq` on the fitted
+//! models compares every feature index, threshold and leaf distribution,
+//! so equality here is structural bit-identity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sentinel_ml::{
+    BinnedDataset, Dataset, DecisionTree, FeatureSubsample, ForestConfig, RandomForest, TreeConfig,
+};
+
+/// Datasets that stress the binning: few distinct values per column
+/// (heavy duplicates, like the Table I bit features), fractional values,
+/// constant columns, and 2-4 classes.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..6, 4usize..48, 2usize..5).prop_flat_map(|(n_features, n_rows, n_classes)| {
+        let row = proptest::collection::vec(
+            prop_oneof![
+                // Small integer pool → many duplicate values per column.
+                (0u8..4).prop_map(f64::from),
+                // Fractional values → midpoint thresholds are non-trivial.
+                (0u8..8).prop_map(|v| f64::from(v) * 0.125),
+            ],
+            n_features,
+        );
+        proptest::collection::vec((row, 0..n_classes), n_rows).prop_map(move |rows| {
+            let mut data = Dataset::new(n_features);
+            for (values, label) in rows {
+                data.push(&values, label);
+            }
+            data
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn binned_tree_is_bit_identical_to_exact(data in dataset_strategy(), seed in any::<u64>()) {
+        let config = TreeConfig {
+            max_depth: 8,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            // Subsample features so the RNG-consumption contract (shuffle
+            // order, constant features not counting against the budget)
+            // is exercised, not just the arithmetic.
+            n_candidate_features: Some((data.n_features() / 2).max(1)),
+        };
+        let bins = BinnedDataset::build(&data);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let exact = DecisionTree::fit_on(&data, &indices, &config, &mut StdRng::seed_from_u64(seed));
+        let binned =
+            DecisionTree::fit_binned(&data, &bins, &indices, &config, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&exact, &binned, "histogram tree diverged from sorted-scan tree");
+    }
+
+    #[test]
+    fn binned_forest_is_bit_identical_at_any_thread_count(
+        data in dataset_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let base = ForestConfig {
+            n_trees: 12,
+            feature_subsample: FeatureSubsample::Sqrt,
+            max_depth: 8,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            seed,
+            threads: 1,
+        };
+        let exact = RandomForest::fit_exact(&data, &base);
+        for threads in [1usize, 2, 8] {
+            let binned = RandomForest::fit(&data, &base.clone().with_threads(threads));
+            prop_assert_eq!(
+                &exact,
+                &binned,
+                "histogram forest diverged from exact forest at {} threads",
+                threads
+            );
+        }
+    }
+}

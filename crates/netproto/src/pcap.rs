@@ -141,6 +141,23 @@ impl<R: Read> PcapReader<R> {
     ///
     /// Returns [`ParseError::Io`] on a short or failed read mid-record.
     pub fn read_raw(&mut self) -> Result<Option<(Timestamp, Vec<u8>)>, ParseError> {
+        let mut frame = Vec::new();
+        Ok(self
+            .read_raw_into(&mut frame)?
+            .map(|timestamp| (timestamp, frame)))
+    }
+
+    /// Reads the next raw frame into `frame` (cleared and overwritten in
+    /// place, reusing its capacity), returning its timestamp — or `None`
+    /// at end of stream, leaving `frame` empty. This is the
+    /// allocation-free replay path: after warm-up, a whole capture streams
+    /// through one buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Io`] on a short or failed read mid-record.
+    pub fn read_raw_into(&mut self, frame: &mut Vec<u8>) -> Result<Option<Timestamp>, ParseError> {
+        frame.clear();
         let mut record = [0u8; 16];
         match self.inner.read_exact(&mut record) {
             Ok(()) => {}
@@ -158,9 +175,9 @@ impl<R: Read> PcapReader<R> {
         let secs = read_u32(&record[0..4]);
         let micros = read_u32(&record[4..8]);
         let incl_len = read_u32(&record[8..12]) as usize;
-        let mut frame = vec![0u8; incl_len];
-        self.inner.read_exact(&mut frame)?;
-        Ok(Some((Timestamp::from_pcap_parts(secs, micros), frame)))
+        frame.resize(incl_len, 0);
+        self.inner.read_exact(frame)?;
+        Ok(Some(Timestamp::from_pcap_parts(secs, micros)))
     }
 
     /// Reads and parses the next packet, or `None` at end of stream.

@@ -114,6 +114,30 @@ pub trait FrameSource {
     /// never inspected.
     fn next_frame(&mut self) -> Result<Option<(Timestamp, Vec<u8>)>, ParseError>;
 
+    /// Produces the next raw frame into `frame` (cleared and overwritten,
+    /// reusing its capacity where the source supports it), returning the
+    /// frame's timestamp — or `None` at end of stream.
+    ///
+    /// The default moves [`Self::next_frame`]'s buffer into `frame`;
+    /// file-backed sources override it to read in place
+    /// ([`PcapReader::read_raw_into`]), making replay allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::next_frame`].
+    fn next_frame_into(&mut self, frame: &mut Vec<u8>) -> Result<Option<Timestamp>, ParseError> {
+        match self.next_frame()? {
+            Some((timestamp, bytes)) => {
+                *frame = bytes;
+                Ok(Some(timestamp))
+            }
+            None => {
+                frame.clear();
+                Ok(None)
+            }
+        }
+    }
+
     /// Drains up to `max` frames into `buf` (appended), returning how
     /// many were read. A return of `0` means end of stream.
     ///
@@ -138,17 +162,72 @@ pub trait FrameSource {
         }
         Ok(read)
     }
+
+    /// Like [`Self::fill_frames`], but **overwrites** `buf` in place —
+    /// each retained slot's `Vec<u8>` keeps its capacity and is refilled
+    /// through [`Self::next_frame_into`], then `buf` is truncated to the
+    /// number of frames read. Batch replay loops that call this with the
+    /// same `buf` every round stop allocating once the buffers have
+    /// grown to the capture's frame sizes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ParseError`]; frames read before the error
+    /// remain in `buf` (truncated to exactly those).
+    fn refill_frames(
+        &mut self,
+        buf: &mut Vec<(Timestamp, Vec<u8>)>,
+        max: usize,
+    ) -> Result<usize, ParseError> {
+        let mut read = 0;
+        let result = loop {
+            if read >= max {
+                break Ok(read);
+            }
+            if read < buf.len() {
+                let (slot_ts, slot) = &mut buf[read];
+                match self.next_frame_into(slot) {
+                    Ok(Some(timestamp)) => {
+                        *slot_ts = timestamp;
+                        read += 1;
+                    }
+                    Ok(None) => break Ok(read),
+                    Err(err) => break Err(err),
+                }
+            } else {
+                let mut frame = Vec::new();
+                match self.next_frame_into(&mut frame) {
+                    Ok(Some(timestamp)) => {
+                        buf.push((timestamp, frame));
+                        read += 1;
+                    }
+                    Ok(None) => break Ok(read),
+                    Err(err) => break Err(err),
+                }
+            }
+        };
+        buf.truncate(read);
+        result
+    }
 }
 
 impl<R: Read> FrameSource for PcapReader<R> {
     fn next_frame(&mut self) -> Result<Option<(Timestamp, Vec<u8>)>, ParseError> {
         self.read_raw()
     }
+
+    fn next_frame_into(&mut self, frame: &mut Vec<u8>) -> Result<Option<Timestamp>, ParseError> {
+        self.read_raw_into(frame)
+    }
 }
 
 impl<S: FrameSource + ?Sized> FrameSource for &mut S {
     fn next_frame(&mut self) -> Result<Option<(Timestamp, Vec<u8>)>, ParseError> {
         (**self).next_frame()
+    }
+
+    fn next_frame_into(&mut self, frame: &mut Vec<u8>) -> Result<Option<Timestamp>, ParseError> {
+        (**self).next_frame_into(frame)
     }
 }
 
@@ -246,6 +325,63 @@ mod tests {
         }
         assert!(source.next_frame().unwrap().is_none());
         assert_eq!(source.remaining(), 0);
+    }
+
+    fn pcap_of(packets: &[Packet]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut writer = PcapWriter::new(&mut buf).unwrap();
+        for packet in packets {
+            writer.write_packet(packet).unwrap();
+        }
+        writer.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn refill_frames_reuses_buffers_and_matches_fill_frames() {
+        let packets = sample();
+        let capture = pcap_of(&packets);
+        // Reference: plain fill_frames over the whole capture.
+        let mut expected = Vec::new();
+        PcapReader::new(capture.as_slice())
+            .unwrap()
+            .fill_frames(&mut expected, usize::MAX)
+            .unwrap();
+        // Refill in rounds of 2 into one reused batch.
+        let mut reader = PcapReader::new(capture.as_slice()).unwrap();
+        let mut batch = Vec::new();
+        let mut streamed = Vec::new();
+        loop {
+            if reader.refill_frames(&mut batch, 2).unwrap() == 0 {
+                break;
+            }
+            assert!(batch.len() <= 2);
+            streamed.extend(batch.iter().cloned());
+        }
+        assert_eq!(streamed, expected);
+        assert!(batch.is_empty(), "final refill truncates to zero");
+    }
+
+    #[test]
+    fn next_frame_into_reads_in_place_without_reallocating() {
+        let packets = sample();
+        let capture = pcap_of(&packets);
+        let mut reader = PcapReader::new(capture.as_slice()).unwrap();
+        let mut frame = Vec::new();
+        let ts = reader.next_frame_into(&mut frame).unwrap().unwrap();
+        assert_eq!(ts, packets[0].timestamp);
+        assert_eq!(frame, packets[0].encode());
+        // All sample frames are the same size: the buffer must be reused,
+        // not regrown.
+        let capacity = frame.capacity();
+        for expected in &packets[1..] {
+            let ts = reader.next_frame_into(&mut frame).unwrap().unwrap();
+            assert_eq!(ts, expected.timestamp);
+            assert_eq!(frame, expected.encode());
+            assert_eq!(frame.capacity(), capacity, "in-place read reallocated");
+        }
+        assert!(reader.next_frame_into(&mut frame).unwrap().is_none());
+        assert!(frame.is_empty());
     }
 
     #[test]

@@ -119,6 +119,12 @@ struct Completion {
 #[derive(Default)]
 struct ShardOutcome {
     completions: Vec<Completion>,
+    /// Items that counted as stream input: everything the shard saw
+    /// except frames the wire scanner rejected — so
+    /// [`StreamStats::packets_in`] agrees between the packet and frame
+    /// paths on equivalent traffic, and `frames_malformed` is the sole
+    /// malformed counter.
+    packets: u64,
     opened: u64,
     evicted: u64,
     ignored: u64,
@@ -134,9 +140,22 @@ fn session_capacity(detector: &SetupDetector) -> usize {
 }
 
 impl Shard {
-    fn process(&mut self, items: &[(u64, &Packet)], config: &StreamConfig) -> ShardOutcome {
-        let mut out = ShardOutcome::default();
-        for &(seq, packet) in items {
+    /// Processes this shard's slice of one ingest batch. `items` carries
+    /// `(stream seq, index into batch)` pairs — the indirection lets the
+    /// runtime reuse its bucket allocations across batches instead of
+    /// borrowing the batch in per-call buckets.
+    fn process(
+        &mut self,
+        items: &[(u64, u32)],
+        batch: &[Packet],
+        config: &StreamConfig,
+    ) -> ShardOutcome {
+        let mut out = ShardOutcome {
+            packets: items.len() as u64,
+            ..ShardOutcome::default()
+        };
+        for &(seq, index) in items {
+            let packet = &batch[index as usize];
             let mac = packet.src_mac();
             if config.ignored.contains(&mac) || self.onboarded.contains(&mac) {
                 out.ignored += 1;
@@ -173,11 +192,15 @@ impl Shard {
     /// skipped instead of aborting the stream.
     fn process_frames(
         &mut self,
-        items: &[(u64, Timestamp, &[u8])],
+        items: &[(u64, u32)],
+        batch: &[(Timestamp, Vec<u8>)],
         config: &StreamConfig,
     ) -> ShardOutcome {
         let mut out = ShardOutcome::default();
-        for &(seq, timestamp, frame) in items {
+        for &(seq, index) in items {
+            let (timestamp, frame) = &batch[index as usize];
+            let timestamp = *timestamp;
+            let frame = frame.as_slice();
             let mac = MacAddr::new(frame[6..12].try_into().expect("bucketed frames hold a MAC"));
             if config.ignored.contains(&mac) || self.onboarded.contains(&mac) {
                 out.ignored += 1;
@@ -215,6 +238,8 @@ impl Shard {
             out.completions.push(complete(mac, seq, session, reason));
             self.onboarded.insert(mac);
         }
+        // Scan-rejected frames never counted as stream input.
+        out.packets = items.len() as u64 - out.malformed;
         out.resident = self.table.len();
         out
     }
@@ -269,6 +294,12 @@ pub struct StreamRuntime<S> {
     reports: HashMap<MacAddr, OnboardingReport>,
     stats: StreamStats,
     next_seq: u64,
+    /// Per-shard `(stream seq, batch index)` buckets, hoisted out of the
+    /// ingest calls so their allocations are reused across batches.
+    buckets: Vec<Vec<(u64, u32)>>,
+    /// Scratch for the FNV shard-assignment pre-pass (`u32::MAX` marks a
+    /// frame too short to carry an Ethernet header).
+    shard_ids: Vec<u32>,
 }
 
 impl<S: SecurityService> StreamRuntime<S> {
@@ -298,6 +329,8 @@ impl<S: SecurityService> StreamRuntime<S> {
             reports: HashMap::new(),
             stats: StreamStats::default(),
             next_seq: 0,
+            buckets: (0..shard_count).map(|_| Vec::new()).collect(),
+            shard_ids: Vec::new(),
         }
     }
 
@@ -343,10 +376,12 @@ impl<S: SecurityService> StreamRuntime<S> {
         mut source: F,
     ) -> Result<Vec<OnboardingReport>, ParseError> {
         let mut reports = Vec::new();
+        // One batch reused for the whole run: `refill_frames` overwrites
+        // the slots in place, so file replay stops allocating once the
+        // buffers have grown to the capture's frame sizes.
         let mut batch: Vec<(Timestamp, Vec<u8>)> = Vec::with_capacity(self.config.batch_size);
         loop {
-            batch.clear();
-            if source.fill_frames(&mut batch, self.config.batch_size.max(1))? == 0 {
+            if source.refill_frames(&mut batch, self.config.batch_size.max(1))? == 0 {
                 break;
             }
             reports.extend(self.ingest_frames(&batch));
@@ -358,30 +393,43 @@ impl<S: SecurityService> StreamRuntime<S> {
     /// Ingests one batch of interleaved raw frames (the zero-copy twin of
     /// [`StreamRuntime::ingest`]), returning the devices whose setup
     /// phase completed inside it (in stream order). Frames too short to
-    /// carry an Ethernet header are counted as malformed and skipped.
+    /// carry an Ethernet header are counted as malformed and skipped —
+    /// they consume no stream sequence number and are excluded from
+    /// [`StreamStats::packets_in`], so frame-path stats agree with the
+    /// packet path on equivalent traffic.
     pub fn ingest_frames(&mut self, frames: &[(Timestamp, Vec<u8>)]) -> Vec<OnboardingReport> {
         let shard_count = self.shards.len();
-        let mut buckets: Vec<Vec<(u64, Timestamp, &[u8])>> = vec![Vec::new(); shard_count];
-        for (i, (timestamp, frame)) in frames.iter().enumerate() {
+        // Tight FNV pre-pass: one cache-friendly sweep computes every
+        // frame's shard before any bucket is touched.
+        self.shard_ids.clear();
+        self.shard_ids.extend(frames.iter().map(|(_, frame)| {
             if frame.len() < 14 {
+                u32::MAX
+            } else {
+                let mac = MacAddr::new(frame[6..12].try_into().expect("checked length"));
+                shard_of(mac, shard_count) as u32
+            }
+        }));
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        let mut seq = self.next_seq;
+        for (i, &shard) in self.shard_ids.iter().enumerate() {
+            if shard == u32::MAX {
                 self.stats.frames_malformed += 1;
                 continue;
             }
-            let mac = MacAddr::new(frame[6..12].try_into().expect("checked length"));
-            buckets[shard_of(mac, shard_count)].push((
-                self.next_seq + i as u64,
-                *timestamp,
-                frame.as_slice(),
-            ));
+            self.buckets[shard as usize].push((seq, i as u32));
+            seq += 1;
         }
-        self.next_seq += frames.len() as u64;
-        self.stats.packets_in += frames.len() as u64;
+        self.next_seq = seq;
         let threads = effective_threads(self.config.threads);
         let outcomes = {
             let shards = &self.shards;
             let config = &self.config;
+            let buckets = &self.buckets;
             map_indexed(shard_count, threads, |s| {
-                shards[s].lock().process_frames(&buckets[s], config)
+                shards[s].lock().process_frames(&buckets[s], frames, config)
             })
         };
         self.absorb(outcomes, true)
@@ -391,19 +439,26 @@ impl<S: SecurityService> StreamRuntime<S> {
     /// whose setup phase completed inside it (in stream order).
     pub fn ingest(&mut self, packets: &[Packet]) -> Vec<OnboardingReport> {
         let shard_count = self.shards.len();
-        let mut buckets: Vec<Vec<(u64, &Packet)>> = vec![Vec::new(); shard_count];
-        for (i, packet) in packets.iter().enumerate() {
-            buckets[shard_of(packet.src_mac(), shard_count)]
-                .push((self.next_seq + i as u64, packet));
+        self.shard_ids.clear();
+        self.shard_ids.extend(
+            packets
+                .iter()
+                .map(|p| shard_of(p.src_mac(), shard_count) as u32),
+        );
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        for (i, &shard) in self.shard_ids.iter().enumerate() {
+            self.buckets[shard as usize].push((self.next_seq + i as u64, i as u32));
         }
         self.next_seq += packets.len() as u64;
-        self.stats.packets_in += packets.len() as u64;
         let threads = effective_threads(self.config.threads);
         let outcomes = {
             let shards = &self.shards;
             let config = &self.config;
+            let buckets = &self.buckets;
             map_indexed(shard_count, threads, |s| {
-                shards[s].lock().process(&buckets[s], config)
+                shards[s].lock().process(&buckets[s], packets, config)
             })
         };
         self.absorb(outcomes, true)
@@ -427,10 +482,17 @@ impl<S: SecurityService> StreamRuntime<S> {
     /// stream would, so even a *stateful* service (the real IoTSSP's
     /// discrimination RNG advances per assessment) answers identically
     /// at every thread count.
+    ///
+    /// Assessment goes through [`SecurityService::assess_batch`] on the
+    /// already-sorted completions: the RNG-free stage-1 classification of
+    /// the whole tick is batched (forest-major over the packed arenas),
+    /// while discrimination and enforcement still run per item in
+    /// `(seq, mac)` order — results bit-identical to per-item `assess`.
     fn absorb(&mut self, outcomes: Vec<ShardOutcome>, track_peak: bool) -> Vec<OnboardingReport> {
         let mut resident = 0usize;
         let mut completions = Vec::new();
         for outcome in outcomes {
+            self.stats.packets_in += outcome.packets;
             self.stats.sessions_opened += outcome.opened;
             self.stats.sessions_evicted += outcome.evicted;
             self.stats.packets_ignored += outcome.ignored;
@@ -442,16 +504,26 @@ impl<S: SecurityService> StreamRuntime<S> {
             self.stats.peak_resident_sessions = self.stats.peak_resident_sessions.max(resident);
         }
         completions.sort_by_key(|c| (c.seq, c.mac));
+        let responses = {
+            let items: Vec<(&Fingerprint, &FixedFingerprint)> =
+                completions.iter().map(|c| (&c.full, &c.fixed)).collect();
+            self.service.assess_batch(&items)
+        };
         completions
             .into_iter()
-            .map(|completion| self.onboard(completion))
+            .zip(responses)
+            .map(|(completion, response)| self.onboard(completion, response))
             .collect()
     }
 
-    /// Assesses one completed device, installs its enforcement rule and
-    /// records its report — the gateway's finalize path.
-    fn onboard(&mut self, completion: Completion) -> OnboardingReport {
-        let response = self.service.assess(&completion.full, &completion.fixed);
+    /// Installs one assessed device's enforcement rule and records its
+    /// report — the gateway's finalize path (the assessment itself comes
+    /// batched from [`StreamRuntime::absorb`]).
+    fn onboard(
+        &mut self,
+        completion: Completion,
+        response: sentinel_core::ServiceResponse,
+    ) -> OnboardingReport {
         self.stats.record_completion(completion.reason);
         match response.identification.outcome {
             Outcome::Identified { .. } => self.stats.identified += 1,
@@ -661,7 +733,36 @@ mod tests {
         assert_eq!(reports.len(), 2, "both devices still onboard");
         let stats = runtime.stats();
         assert_eq!(stats.frames_malformed, 2);
-        assert_eq!(stats.packets_in, stream.len() as u64 + 2);
+        // Malformed frames are not stream input: `packets_in` counts
+        // exactly the frames the packet path would have seen.
+        assert_eq!(stats.packets_in, stream.len() as u64);
+    }
+
+    #[test]
+    fn frame_stats_agree_with_packet_stats_despite_malformed_frames() {
+        // Injecting malformed frames into the frame path must leave every
+        // stat (and every report) identical to the packet path over the
+        // clean stream — malformed frames consume no sequence number and
+        // show up only in `frames_malformed`.
+        let traces = traces(6);
+        let stream = interleave(&traces, Duration::from_millis(5));
+        let mut decoded = runtime(StreamConfig::default());
+        let decoded_reports = decoded.run(MemorySource::new(stream.clone())).unwrap();
+        let mut frames: Vec<(Timestamp, Vec<u8>)> =
+            stream.iter().map(|p| (p.timestamp, p.encode())).collect();
+        // A runt up front, a truncated IPv4 frame early (before its
+        // device onboards), and a runt at the tail.
+        frames.insert(0, (Timestamp::ZERO, vec![0xcd; 5]));
+        let mut truncated = stream[1].encode();
+        truncated.truncate(16);
+        frames.insert(4, (stream[1].timestamp, truncated));
+        frames.push((stream.last().unwrap().timestamp, vec![0xee; 13]));
+        let mut scanned = runtime(StreamConfig::default());
+        let scanned_reports = scanned.run_frames(MemoryFrameSource::new(frames)).unwrap();
+        assert_eq!(scanned_reports, decoded_reports);
+        let mut expected = decoded.stats().clone();
+        expected.frames_malformed += 3;
+        assert_eq!(scanned.stats(), &expected);
     }
 
     #[test]

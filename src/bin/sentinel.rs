@@ -261,7 +261,11 @@ fn stream(
                 return Err("usage: sentinel stream <capture.pcap> (or --simulate N)".into());
             };
             eprintln!("streaming {path}…");
-            runtime.run(PcapReader::new(std::fs::File::open(path)?)?)?
+            // The zero-copy frame path: raw records replay through one
+            // reused buffer and the wire scanner, never decoding a
+            // Packet for certifiable frames (and never aborting on
+            // malformed ones — a live tap's semantics).
+            runtime.run_frames(PcapReader::new(std::fs::File::open(path)?)?)?
         }
     };
     for report in &reports {
