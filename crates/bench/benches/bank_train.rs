@@ -1,0 +1,39 @@
+//! End-to-end one-vs-rest bank training: all 27 per-type forests over
+//! the full fingerprint corpus. This is the cost an IoTSSP pays to
+//! (re)train from scratch, and the target of the shared-binned-corpus +
+//! arena fitting path: the corpus is copied and binned once, every
+//! label trains over an index view of it, and per-worker `FitArena`s
+//! keep the steady-state node loop allocation-free.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sentinel_core::{BankConfig, ClassifierBank, FingerprintDataset};
+use sentinel_devicesim::catalog;
+
+fn bank_train(c: &mut Criterion) {
+    // The paper's corpus shape: 27 device-types, 276-dimensional F'.
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, 10, 21);
+    let mut group = c.benchmark_group("bank_train");
+    group.sample_size(10);
+    // Sequential is the exact reference path; auto saturates the
+    // machine. Both produce bit-identical banks (pinned in
+    // sentinel-core's tests), so this measures only the speedup.
+    for (name, threads) in [("sequential", 1usize), ("auto", 0)] {
+        let config = BankConfig {
+            threads,
+            ..BankConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| ClassifierBank::train(&dataset, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bank_train
+}
+criterion_main!(benches);

@@ -84,10 +84,12 @@ fn main() {
 
     let training = timing::measure_training(train_runs, seed, threads, train_samples);
     println!(
-        "training: 27-forest bank {}; one forest histogram {} vs exact scan {}",
+        "training: 27-forest bank {}; one forest histogram {} vs exact scan {}; \
+         incremental add_type {}",
         fmt(&training.bank_training),
         fmt(&training.forest_fit_histogram),
         fmt(&training.forest_fit_exact),
+        fmt(&training.incremental_add_type),
     );
 
     if let Some(path) = args.get_str("json") {
@@ -109,13 +111,19 @@ fn main() {
             json_row("bank_training", &training.bank_training),
             json_row("forest_fit_histogram", &training.forest_fit_histogram),
             json_row("forest_fit_exact", &training.forest_fit_exact),
+            json_row("incremental_add_type", &training.incremental_add_type),
         ]
         .join(",\n");
+        // PR 4 measurements on this machine, kept as the "before" column
+        // for the shared-binned-corpus + arena training path.
+        let baseline = "    \"bank_training\": {\"mean_ms\": 227.4, \"note\": \"per-label Dataset copies, per-node allocation\"},\n    \
+             \"forest_fit_histogram\": {\"mean_ms\": 9.6, \"note\": \"per-label binning, heap scratch per node\"}";
         let json = format!(
             "{{\n  \"bench\": \"table4_timing\",\n  \"train_runs\": {train_runs},\n  \
              \"iterations\": {iterations},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
              \"discrimination_rate\": {:.4},\n  \"mean_edit_distances\": {:.4},\n  \"steps\": {{\n{body}\n  }},\n  \
-             \"training\": {{\n{train_body}\n  }}\n}}\n",
+             \"training\": {{\n{train_body}\n  }},\n  \
+             \"training_baseline_pr4\": {{\n{baseline}\n  }}\n}}\n",
             report.discrimination_rate, report.mean_edit_distances
         );
         std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));

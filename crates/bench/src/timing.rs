@@ -49,6 +49,9 @@ pub struct TrainingReport {
     pub forest_fit_histogram: Summary,
     /// One per-type forest fit via the exact sorted-scan reference.
     pub forest_fit_exact: Summary,
+    /// Incrementally adding the 27th type to a 26-type bank (the
+    /// paper's "new classifier without relearning" operation).
+    pub incremental_add_type: Summary,
 }
 
 /// Measures training throughput on the same corpus shape as
@@ -96,10 +99,28 @@ pub fn measure_training(
         std::hint::black_box(RandomForest::fit_exact(&binary, &forest_config));
         forest_fit_exact.push(start.elapsed());
     }
+    // Incremental onboarding: train once on 26 types, then time only
+    // the `add_type` of the 27th (the bank clone happens off the clock).
+    let devices26: Vec<_> = devices.iter().take(devices.len() - 1).cloned().collect();
+    let dataset26 = FingerprintDataset::collect(&devices26, train_runs, seed);
+    let bank26 = ClassifierBank::train(&dataset26, &config);
+    let new_name = devices
+        .last()
+        .map(|d| d.info.identifier.to_string())
+        .unwrap_or_default();
+    let mut incremental_add_type = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bank = bank26.clone();
+        let start = Instant::now();
+        let label = bank.add_type(new_name.clone(), &dataset);
+        incremental_add_type.push(start.elapsed());
+        std::hint::black_box(label);
+    }
     TrainingReport {
         bank_training: Summary::of_durations_ms(&bank_training),
         forest_fit_histogram: Summary::of_durations_ms(&forest_fit_histogram),
         forest_fit_exact: Summary::of_durations_ms(&forest_fit_exact),
+        incremental_add_type: Summary::of_durations_ms(&incremental_add_type),
     }
 }
 

@@ -185,6 +185,37 @@ impl Identifier {
         &self.bank
     }
 
+    /// Learns one additional device-type incrementally: trains its
+    /// classifier ([`ClassifierBank::add_type`]), registers its stage-2
+    /// reference fingerprints, and packs its prediction arena — all
+    /// without touching the existing types' models, references or
+    /// interned symbols. Returns the new type's label.
+    ///
+    /// `dataset` must contain fingerprints labeled with the new type's
+    /// index (i.e. the current number of types). The appended state is
+    /// bit-identical to what a full [`Identifier::train`] on `dataset`
+    /// builds for that label: the classifier's RNG streams derive from
+    /// the label and seeds alone, references are registered in the same
+    /// label order, and interning new symbols is append-only.
+    pub fn add_type(&mut self, name: impl Into<String>, dataset: &FingerprintDataset) -> usize {
+        let label = self.bank.add_type(name, dataset);
+        let references: Vec<Fingerprint> = dataset
+            .indices_of(label)
+            .into_iter()
+            .map(|i| dataset.full(i).clone())
+            .collect();
+        let interned = references
+            .iter()
+            .map(|fp| self.symbols.intern(fp))
+            .collect();
+        self.packed
+            .push(PackedForest::from_forest(self.bank.classifier(label)));
+        self.pools.push((0..references.len()).collect());
+        self.interned.push(interned);
+        self.references.push(references);
+        label
+    }
+
     /// Serializes the trained pipeline as JSON.
     ///
     /// # Errors
@@ -679,6 +710,48 @@ mod tests {
             let in_batch = batched.identify_batch(&items);
             assert_eq!(one_by_one, in_batch, "mode {mode:?}");
         }
+    }
+
+    #[test]
+    fn add_type_matches_full_retrain_for_the_new_label() {
+        // Extending a trained identifier with a fourth type must leave
+        // the three existing types bit-identical and append exactly the
+        // state a full retrain on the extended dataset would build for
+        // the new label: same classifier, same reference fingerprints,
+        // and the same stage-1 decisions through the packed arena.
+        let devices: Vec<_> = catalog().into_iter().take(4).collect();
+        let three = FingerprintDataset::collect(&devices[..3], 8, 5);
+        let four = FingerprintDataset::collect(&devices, 8, 5);
+        let config = fast_config(IdentifyMode::TwoStage);
+        let mut incremental = Identifier::train(&three, &config);
+        let old_bank = incremental.bank().clone();
+        let label = incremental.add_type(devices[3].info.identifier, &four);
+        assert_eq!(label, 3);
+        // Existing classifiers untouched, bit-for-bit.
+        for old in 0..3 {
+            assert_eq!(incremental.bank().classifier(old), old_bank.classifier(old));
+        }
+        let full = Identifier::train(&four, &config);
+        assert_eq!(
+            incremental.bank().classifier(label),
+            full.bank().classifier(label)
+        );
+        assert_eq!(incremental.references[label], full.references[label]);
+        // The packed arena for the new type makes the same stage-1
+        // decisions on every training fingerprint.
+        for i in 0..four.len() {
+            assert_eq!(
+                incremental.accepts(label, four.fixed(i)),
+                full.accepts(label, four.fixed(i)),
+                "sample {i}"
+            );
+        }
+        // And held-out runs of the new device actually identify as it.
+        let testbed = Testbed::new(55);
+        let trace = testbed.setup_run(&devices[3].profile, 0);
+        let probe = extract(&trace.packets);
+        let fixed = FixedFingerprint::from_fingerprint(&probe);
+        assert_eq!(incremental.identify(&probe, &fixed).label(), Some(3));
     }
 
     #[test]

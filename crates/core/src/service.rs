@@ -101,6 +101,19 @@ impl IoTSecurityService {
         &self.identifier
     }
 
+    /// Teaches the service one additional device-type without retraining
+    /// the existing classifiers (the paper's incremental-onboarding
+    /// property). Returns the new type's label.
+    ///
+    /// `dataset` must be the extended corpus: all previously known types
+    /// plus fingerprints labeled with the new type's index. Delegates to
+    /// [`Identifier::add_type`], which appends the new classifier, its
+    /// stage-2 reference fingerprints and the packed prediction arena;
+    /// everything already trained is left bit-identical.
+    pub fn add_type(&mut self, name: impl Into<String>, dataset: &FingerprintDataset) -> usize {
+        self.identifier.add_type(name, dataset)
+    }
+
     /// The vulnerability database.
     pub fn vulndb(&self) -> &StaticVulnDb {
         &self.vulndb
@@ -228,6 +241,43 @@ mod tests {
             .map(|&(full, fixed)| sequential.assess(full, fixed))
             .collect();
         assert_eq!(one_by_one, batched.assess_batch(&items));
+    }
+
+    #[test]
+    fn add_type_onboards_a_new_device_type() {
+        let devices: Vec<_> = catalog().into_iter().take(4).collect();
+        let three = FingerprintDataset::collect(&devices[..3], 8, 5);
+        let four = FingerprintDataset::collect(&devices, 8, 5);
+        let config = ServiceConfig {
+            identifier: IdentifierConfig {
+                bank: BankConfig {
+                    forest: ForestConfig::default().with_trees(25),
+                    ..BankConfig::default()
+                },
+                ..IdentifierConfig::default()
+            },
+        };
+        let mut service = IoTSecurityService::train(&three, &config);
+        let (full, fixed) = fingerprints_of(3, 0);
+        assert_eq!(
+            service.assess(&full, &fixed).identification.outcome,
+            Outcome::Unknown,
+            "the fourth device must be unknown before onboarding"
+        );
+        let label = service.add_type(devices[3].info.identifier, &four);
+        assert_eq!(label, 3);
+        // After incremental onboarding the device identifies, and its
+        // classifier is bit-identical to a full retrain's (the extended
+        // service shares the full retrain's state for the new label).
+        assert_eq!(
+            service.assess(&full, &fixed).identification.label(),
+            Some(3)
+        );
+        let retrained = IoTSecurityService::train(&four, &config);
+        assert_eq!(
+            service.identifier().bank().classifier(label),
+            retrained.identifier().bank().classifier(label)
+        );
     }
 
     #[test]

@@ -98,6 +98,17 @@ impl BinnedDataset {
     pub fn max_bins(&self) -> usize {
         self.max_bins
     }
+
+    /// Number of rows of the dataset these bins were built from (view
+    /// fits assert their corpus matches).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.value_offsets.len() - 1
+    }
 }
 
 /// Reusable per-tree-fit scratch for the histogram sweep, so the split

@@ -29,6 +29,22 @@ impl Dataset {
         }
     }
 
+    /// Creates an empty dataset pre-sized for `rows` rows of
+    /// `n_features` columns, so filling it performs one allocation per
+    /// backing array instead of doubling growth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features` is zero.
+    pub fn with_capacity(n_features: usize, rows: usize) -> Self {
+        assert!(n_features > 0, "a dataset needs at least one feature");
+        Dataset {
+            features: Vec::with_capacity(rows * n_features),
+            n_features,
+            labels: Vec::with_capacity(rows),
+        }
+    }
+
     /// Appends a row.
     ///
     /// # Panics
@@ -133,6 +149,15 @@ mod tests {
         assert_eq!(sub.row(0), &[4.0]);
         assert_eq!(sub.label(0), 0);
         assert_eq!(sub.row(1), &[0.0]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut data = Dataset::with_capacity(2, 4);
+        assert!(data.is_empty());
+        data.push(&[1.0, 2.0], 1);
+        assert_eq!(data.row(0), &[1.0, 2.0]);
+        assert!(data.features.capacity() >= 8);
     }
 
     #[test]

@@ -7,8 +7,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::binning::BinnedDataset;
 use crate::parallel;
-use crate::sampling::bootstrap_indices;
-use crate::tree::argmax;
+use crate::sampling::bootstrap_indices_into;
+use crate::tree::{argmax, FitArena};
 use crate::{Dataset, DecisionTree, TreeConfig};
 
 /// How many candidate features each split considers.
@@ -94,6 +94,22 @@ impl ForestConfig {
     }
 }
 
+/// Where a forest's training rows, labels and bins come from.
+enum FitMode<'a> {
+    /// All of `data`, split-searched over bins built from it here.
+    Binned,
+    /// All of `data`, exact sorted-scan reference path.
+    Exact,
+    /// A shared-corpus view: train on `rows` (distinct indices into the
+    /// corpus) with `labels[k]` as row `rows[k]`'s class, over `bins`
+    /// built once from the full corpus.
+    View {
+        bins: &'a BinnedDataset,
+        rows: &'a [usize],
+        labels: &'a [usize],
+    },
+}
+
 /// A trained Random Forest classifier.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RandomForest {
@@ -117,7 +133,7 @@ impl RandomForest {
     ///
     /// Panics if `data` is empty or `config.n_trees` is zero.
     pub fn fit(data: &Dataset, config: &ForestConfig) -> Self {
-        Self::fit_inner(data, config, true)
+        Self::fit_inner(data, config, FitMode::Binned)
     }
 
     /// Fits a forest with the exact per-node sorted-scan split search —
@@ -128,12 +144,53 @@ impl RandomForest {
     ///
     /// Panics if `data` is empty or `config.n_trees` is zero.
     pub fn fit_exact(data: &Dataset, config: &ForestConfig) -> Self {
-        Self::fit_inner(data, config, false)
+        Self::fit_inner(data, config, FitMode::Exact)
     }
 
-    fn fit_inner(data: &Dataset, config: &ForestConfig, binned: bool) -> Self {
+    /// Fits a forest over a *view* of a shared corpus: `rows` selects
+    /// distinct rows of `data`, `labels[k]` is the class of row
+    /// `rows[k]`, and split search runs over `bins` built **once** from
+    /// the full corpus (shared read-only by every view that trains over
+    /// it — the one-vs-rest bank trains 27 forests against a single
+    /// binned design matrix this way).
+    ///
+    /// Lossless versus copying the view into its own `Dataset` and
+    /// calling [`RandomForest::fit`]: corpus bins absent from a node
+    /// are empty in its histogram and the sweep skips empty bins, so
+    /// thresholds, evaluation order, candidate budget and RNG stream
+    /// are identical (pinned by `tests/prop_histogram.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the view is empty, `rows` and `labels` disagree in
+    /// length, or `bins` was not built from `data`.
+    pub fn fit_view(
+        data: &Dataset,
+        bins: &BinnedDataset,
+        rows: &[usize],
+        labels: &[usize],
+        config: &ForestConfig,
+    ) -> Self {
+        Self::fit_inner(data, config, FitMode::View { bins, rows, labels })
+    }
+
+    fn fit_inner(data: &Dataset, config: &ForestConfig, mode: FitMode<'_>) -> Self {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(config.n_trees > 0, "a forest needs at least one tree");
+        let (n, n_classes) = match &mode {
+            FitMode::View { bins, rows, labels } => {
+                assert_eq!(rows.len(), labels.len(), "every view row needs a label");
+                assert!(!rows.is_empty(), "cannot fit a forest on an empty view");
+                assert_eq!(
+                    bins.n_rows(),
+                    data.len(),
+                    "bins must be built from this corpus"
+                );
+                (rows.len(), labels.iter().max().map_or(0, |&m| m + 1))
+            }
+            _ => (data.len(), data.n_classes()),
+        };
+        let n_classes = n_classes.max(2);
         let tree_config = TreeConfig {
             max_depth: config.max_depth,
             min_samples_split: config.min_samples_split,
@@ -141,42 +198,104 @@ impl RandomForest {
             n_candidate_features: config.feature_subsample.resolve(data.n_features()),
         };
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let n_classes = data.n_classes().max(2);
         // Draw every tree's bootstrap sample and seed sequentially from
         // the forest RNG first — the exact stream of the sequential
         // implementation — then fit the (now fully determined) trees on
         // worker threads. Each tree gets an independent stream so
-        // feature shuffling cannot correlate across trees.
-        let plans: Vec<(Vec<usize>, u64)> = (0..config.n_trees)
-            .map(|_| {
-                let sample = bootstrap_indices(data.len(), &mut rng);
-                let tree_seed: u64 = rng.gen();
-                (sample, tree_seed)
-            })
-            .collect();
-        let bins = binned.then(|| BinnedDataset::build(data));
+        // feature shuffling cannot correlate across trees. All samples
+        // live back to back in one flat buffer (positions `0..n` into
+        // the training view).
+        let mut samples: Vec<usize> = Vec::with_capacity(n * config.n_trees);
+        let mut seeds: Vec<u64> = Vec::with_capacity(config.n_trees);
+        for _ in 0..config.n_trees {
+            bootstrap_indices_into(n, &mut rng, &mut samples);
+            seeds.push(rng.gen());
+        }
+        let owned_bins = matches!(mode, FitMode::Binned).then(|| BinnedDataset::build(data));
+        // View fits look labels up by corpus row id during tree
+        // building; scatter the view labels into a dense per-row array
+        // once per forest (rows outside the view are never read — the
+        // bootstrap only draws view rows).
+        let row_labels: Option<Vec<usize>> = match &mode {
+            FitMode::View { rows, labels, .. } => {
+                let mut by_row = vec![0usize; data.len()];
+                for (&row, &label) in rows.iter().zip(labels.iter()) {
+                    by_row[row] = label;
+                }
+                Some(by_row)
+            }
+            _ => None,
+        };
         let threads = parallel::effective_threads(config.threads);
+        // One scratch arena per worker thread, warm across all the
+        // trees that worker claims (`FitArena` is pure scratch, so the
+        // fitted forest stays bit-identical for every thread count).
         let fitted: Vec<(DecisionTree, Vec<(usize, usize)>)> =
-            parallel::map_indexed(config.n_trees, threads, |t| {
-                let (sample, tree_seed) = &plans[t];
-                let mut tree_rng = StdRng::seed_from_u64(*tree_seed);
-                let tree = match &bins {
-                    Some(bins) => {
-                        DecisionTree::fit_binned(data, bins, sample, &tree_config, &mut tree_rng)
+            parallel::map_indexed_init(config.n_trees, threads, FitArena::new, |arena, t| {
+                let positions = &samples[t * n..(t + 1) * n];
+                let mut tree_rng = StdRng::seed_from_u64(seeds[t]);
+                let tree = match &mode {
+                    FitMode::View { bins, rows, .. } => {
+                        // Map bootstrap positions to corpus row ids in
+                        // the arena's staging buffer.
+                        let mut sample = std::mem::take(&mut arena.sample);
+                        sample.clear();
+                        sample.extend(positions.iter().map(|&p| rows[p]));
+                        let labels = row_labels.as_deref().expect("view fit scattered labels");
+                        let tree = DecisionTree::fit_view_in(
+                            data,
+                            bins,
+                            &sample,
+                            labels,
+                            n_classes,
+                            &tree_config,
+                            &mut tree_rng,
+                            arena,
+                        );
+                        arena.sample = sample;
+                        tree
                     }
-                    None => DecisionTree::fit_on(data, sample, &tree_config, &mut tree_rng),
+                    FitMode::Binned => {
+                        let bins = owned_bins.as_ref().expect("binned fit built bins");
+                        DecisionTree::fit_binned_in(
+                            data,
+                            bins,
+                            positions,
+                            &tree_config,
+                            &mut tree_rng,
+                            arena,
+                        )
+                    }
+                    FitMode::Exact => {
+                        DecisionTree::fit_in(data, positions, &tree_config, &mut tree_rng, arena)
+                    }
                 };
                 // Out-of-bag votes: each tree votes on the samples its
                 // bootstrap missed, giving a free generalization
                 // estimate (Breiman 2001).
-                let in_bag: std::collections::HashSet<usize> = sample.iter().copied().collect();
-                let oob: Vec<(usize, usize)> = (0..data.len())
-                    .filter(|i| !in_bag.contains(i))
-                    .map(|i| (i, tree.predict(data.row(i))))
+                let in_bag = &mut arena.in_bag;
+                in_bag.clear();
+                in_bag.resize(n, false);
+                for &p in positions {
+                    in_bag[p] = true;
+                }
+                let oob: Vec<(usize, usize)> = (0..n)
+                    .filter(|&p| !in_bag[p])
+                    .map(|p| {
+                        let row = match &mode {
+                            FitMode::View { rows, .. } => data.row(rows[p]),
+                            _ => data.row(p),
+                        };
+                        (p, tree.predict(row))
+                    })
                     .collect();
                 (tree, oob)
             });
-        let mut oob_votes = vec![vec![0usize; n_classes]; data.len()];
+        let truth = |p: usize| match &mode {
+            FitMode::View { labels, .. } => labels[p],
+            _ => data.label(p),
+        };
+        let mut oob_votes = vec![vec![0usize; n_classes]; n];
         let mut trees = Vec::with_capacity(config.n_trees);
         for (tree, oob) in fitted {
             for (i, vote) in oob {
@@ -191,11 +310,11 @@ impl RandomForest {
                 continue;
             }
             voted += 1;
-            if argmax(votes) == data.label(i) {
+            if argmax(votes) == truth(i) {
                 correct += 1;
             }
         }
-        let oob_accuracy = (voted == data.len()).then(|| correct as f64 / voted as f64);
+        let oob_accuracy = (voted == n).then(|| correct as f64 / voted as f64);
         RandomForest {
             trees,
             n_classes,
@@ -235,14 +354,28 @@ impl RandomForest {
 
     /// Per-class vote fractions for a feature row.
     pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
-        let mut votes = vec![0usize; self.n_classes];
+        let mut out = vec![0.0; self.n_classes];
+        self.predict_proba_into(row, &mut out);
+        out
+    }
+
+    /// Writes the per-class vote fractions for a feature row into `out`
+    /// — the allocation-free twin of [`RandomForest::predict_proba`]
+    /// for per-row queries in hot loops (vote tallies up to `n_trees`
+    /// are exact in `f64`, so the fractions are bit-identical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.n_classes()`.
+    pub fn predict_proba_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_classes, "probability buffer width");
+        out.fill(0.0);
         for tree in &self.trees {
-            votes[tree.predict(row)] += 1;
+            out[tree.predict(row)] += 1.0;
         }
-        votes
-            .into_iter()
-            .map(|v| v as f64 / self.trees.len() as f64)
-            .collect()
+        for slot in out.iter_mut() {
+            *slot /= self.trees.len() as f64;
+        }
     }
 
     /// Convenience for binary classifiers: returns `true` if class 1 wins

@@ -55,4 +55,4 @@ pub use binning::BinnedDataset;
 pub use data::Dataset;
 pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
 pub use packed::PackedForest;
-pub use tree::{DecisionTree, TreeConfig};
+pub use tree::{DecisionTree, FitArena, TreeConfig};

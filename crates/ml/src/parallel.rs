@@ -52,24 +52,49 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    map_indexed_init(n, threads, || (), |(), index| f(index))
+}
+
+/// [`map_indexed`] with per-worker state: each worker thread calls
+/// `init()` once and threads the resulting value through every item it
+/// claims. Made for reusable scratch (e.g. a
+/// [`crate::tree::FitArena`]) — one warm arena per worker instead of
+/// one allocation storm per item.
+///
+/// The state must be pure scratch: which worker computes which item is
+/// scheduling-dependent, so any state that influenced results would
+/// break the "identical output for every thread count" contract.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `init` or `f`.
+pub fn map_indexed_init<S, T, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = threads.min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|index| f(&mut state, index)).collect();
     }
     let next = AtomicUsize::new(0);
     let buckets: Vec<Vec<(usize, T)>> = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
+                let init = &init;
                 let f = &f;
                 scope.spawn(move |_| {
+                    let mut state = init();
                     let mut produced = Vec::new();
                     loop {
                         let index = next.fetch_add(1, Ordering::Relaxed);
                         if index >= n {
                             break;
                         }
-                        produced.push((index, f(index)));
+                        produced.push((index, f(&mut state, index)));
                     }
                     produced
                 })
@@ -114,6 +139,28 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         assert_eq!(map_indexed(3, 64, |i| i), vec![0, 1, 2]);
         assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        for threads in [1, 2, 8] {
+            // Each worker counts how many items it processed; the sum
+            // over all results must be n regardless of scheduling.
+            let out = map_indexed_init(
+                64,
+                threads,
+                || 0usize,
+                |seen, i| {
+                    *seen += 1;
+                    (i, *seen)
+                },
+            );
+            assert_eq!(out.len(), 64);
+            assert!(out.iter().enumerate().all(|(k, &(i, _))| k == i));
+            let total: usize = out.iter().filter(|&&(_, seen)| seen == 1).count();
+            // Exactly one "first item" per participating worker.
+            assert!(total >= 1 && total <= threads.min(64), "threads={threads}");
+        }
     }
 
     #[test]

@@ -7,7 +7,16 @@ use rand::Rng;
 /// Draws `n` indices uniformly with replacement from `0..n` (a bootstrap
 /// sample for bagging).
 pub fn bootstrap_indices(n: usize, rng: &mut impl Rng) -> Vec<usize> {
-    (0..n).map(|_| rng.gen_range(0..n)).collect()
+    let mut out = Vec::with_capacity(n);
+    bootstrap_indices_into(n, rng, &mut out);
+    out
+}
+
+/// Appends `n` bootstrap draws (uniform with replacement from `0..n`)
+/// to `out` — the buffer-reusing twin of [`bootstrap_indices`],
+/// consuming the identical RNG stream.
+pub fn bootstrap_indices_into(n: usize, rng: &mut impl Rng, out: &mut Vec<usize>) {
+    out.extend((0..n).map(|_| rng.gen_range(0..n)));
 }
 
 /// Draws `k` distinct elements from `pool` without replacement (all of
@@ -60,6 +69,17 @@ mod tests {
         // A bootstrap sample of 50 almost surely repeats at least once.
         let distinct: std::collections::HashSet<_> = sample.iter().collect();
         assert!(distinct.len() < 50);
+    }
+
+    #[test]
+    fn bootstrap_into_matches_allocating_twin() {
+        let mut reused = Vec::new();
+        bootstrap_indices_into(50, &mut rng(), &mut reused);
+        assert_eq!(reused, bootstrap_indices(50, &mut rng()));
+        // Appends rather than overwrites, so one flat buffer can hold
+        // every tree's sample back to back.
+        bootstrap_indices_into(50, &mut rng(), &mut reused);
+        assert_eq!(reused.len(), 100);
     }
 
     #[test]

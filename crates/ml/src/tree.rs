@@ -62,18 +62,98 @@ pub struct DecisionTree {
     n_samples: Vec<usize>,
     /// Gini impurity decrease per node (`0.0` at leaves).
     impurity_decreases: Vec<f64>,
-    /// Per-leaf training class counts (for probabilities).
-    leaf_counts: Vec<Vec<usize>>,
+    /// Training class counts of every leaf, flattened with stride
+    /// `n_classes` (leaf `l` owns
+    /// `leaf_counts[l * n_classes..][..n_classes]`) — one arena instead
+    /// of one heap box per leaf.
+    leaf_counts: Vec<usize>,
     n_classes: usize,
 }
 
+/// Reusable scratch for tree fitting.
+///
+/// Every buffer the build recursion needs per node — the partitioned
+/// row-index working set, the candidate-feature list, the class-count
+/// vectors of the node and of the split sweep, the exact scan's sorted
+/// column and the histogram sweep's bin counts — is borrowed from here
+/// instead of freshly allocated, so a warm arena makes
+/// `DecisionTree::build` perform **zero heap allocations per node**
+/// (pinned by `tests/alloc_arena.rs`). The arena also remembers the
+/// largest tree it has produced and pre-reserves the next tree's
+/// node arrays accordingly: steady-state, a whole tree fit costs one
+/// exact-sized allocation per output array and nothing else.
+///
+/// Forest fitting hands each worker thread its own arena
+/// (`parallel::map_indexed_init`), reused across all trees that worker
+/// claims. The arena is pure scratch — it never influences the fitted
+/// tree, so determinism across thread counts is unaffected.
+#[derive(Debug, Default)]
+pub struct FitArena {
+    /// The in-place row-index buffer the recursion partitions.
+    work: Vec<usize>,
+    /// Bootstrap-sample staging for view-mapped forest fits.
+    pub(crate) sample: Vec<usize>,
+    /// Per-tree in-bag flags for out-of-bag accounting.
+    pub(crate) in_bag: Vec<bool>,
+    /// Candidate-feature list, refilled (and reshuffled) per node.
+    candidates: Vec<usize>,
+    /// Class counts of the node under construction (the split search
+    /// reads them as the parent counts; it must not write them).
+    node_counts: Vec<usize>,
+    /// The node's labels, gathered once per node (position-aligned with
+    /// its index slice) so the per-candidate histogram fills read one
+    /// sequential stream instead of re-gathering `labels[i]` per row
+    /// per feature.
+    node_labels: Vec<u32>,
+    /// Left/right class counts swept by the split search.
+    left_counts: Vec<usize>,
+    right_counts: Vec<usize>,
+    /// `(value, label)` pairs for the exact sorted-scan search.
+    column: Vec<(f64, usize)>,
+    /// Histogram scratch for the binned search.
+    hist: HistScratch,
+    /// Per-depth bitmask stack of features known constant within the
+    /// node (one `(n_features + 63) / 64`-word frame per depth). A
+    /// feature constant in a node is constant in both children, so each
+    /// frame starts as a copy of its parent's and grows as the split
+    /// search discovers new constants — descendants then skip those
+    /// features without touching their codes at all. Pure scratch: the
+    /// skip decision is exactly the one the scan would make.
+    constant_masks: Vec<u64>,
+    /// High-water marks: node and flattened-leaf-count lengths of the
+    /// largest tree fitted so far, used to size the next tree's arrays.
+    max_nodes: usize,
+    max_leaf_slots: usize,
+}
+
+impl FitArena {
+    /// Creates an empty arena; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Per-fit split-search inputs threaded through the build recursion:
-/// the training rows, the optional pre-binned columns, and the reusable
-/// histogram scratch.
+/// the training rows, the optional pre-binned columns, the optional
+/// per-corpus-row label overrides, and the scratch arena.
 struct FitContext<'a> {
     data: &'a Dataset,
     bins: Option<&'a BinnedDataset>,
-    scratch: HistScratch,
+    /// Shared-corpus one-vs-rest views override the dataset's labels:
+    /// `relabel[i]` is the class of corpus row `i` (`None` = use
+    /// `data.label(i)`).
+    relabel: Option<&'a [usize]>,
+    arena: &'a mut FitArena,
+}
+
+/// The label of corpus row `i` under an optional view relabeling.
+#[inline]
+fn label_of(data: &Dataset, relabel: Option<&[usize]>, i: usize) -> usize {
+    match relabel {
+        Some(labels) => labels[i],
+        None => data.label(i),
+    }
 }
 
 impl DecisionTree {
@@ -100,7 +180,23 @@ impl DecisionTree {
         config: &TreeConfig,
         rng: &mut impl Rng,
     ) -> Self {
-        Self::fit_inner(data, None, indices, config, rng)
+        Self::fit_in(data, indices, config, rng, &mut FitArena::new())
+    }
+
+    /// [`DecisionTree::fit_on`] with a caller-provided scratch arena, so
+    /// repeated fits reuse every working buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_in(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+        arena: &mut FitArena,
+    ) -> Self {
+        Self::fit_inner(data, None, None, indices, config, rng, arena)
     }
 
     /// Fits a tree like [`DecisionTree::fit_on`], but finds splits with
@@ -122,35 +218,108 @@ impl DecisionTree {
         config: &TreeConfig,
         rng: &mut impl Rng,
     ) -> Self {
-        Self::fit_inner(data, Some(bins), indices, config, rng)
+        Self::fit_binned_in(data, bins, indices, config, rng, &mut FitArena::new())
+    }
+
+    /// [`DecisionTree::fit_binned`] with a caller-provided scratch
+    /// arena, so repeated fits reuse every working buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_binned_in(
+        data: &Dataset,
+        bins: &BinnedDataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+        arena: &mut FitArena,
+    ) -> Self {
+        Self::fit_inner(data, Some(bins), None, indices, config, rng, arena)
+    }
+
+    /// Fits a tree over a *view* of a shared corpus: `indices` selects
+    /// (possibly repeated, bootstrap-style) rows of `data`, but the
+    /// class of row `i` is `labels[i]` — a per-corpus-row relabeling
+    /// with `n_classes` classes — and split search runs over `bins`
+    /// built **once** from the full corpus.
+    ///
+    /// Lossless versus copying the view's rows into their own `Dataset`
+    /// and calling [`DecisionTree::fit_binned`]: corpus bins absent
+    /// from a node are empty in its histogram, and the sweep already
+    /// skips empty bins, so the probed thresholds, their order, the
+    /// left/right counts, the candidate budget and the RNG stream are
+    /// all identical (pinned by `tests/prop_histogram.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or `labels` is shorter than the
+    /// corpus.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_view_in(
+        data: &Dataset,
+        bins: &BinnedDataset,
+        indices: &[usize],
+        labels: &[usize],
+        n_classes: usize,
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+        arena: &mut FitArena,
+    ) -> Self {
+        assert!(
+            labels.len() >= data.len(),
+            "every corpus row needs a view label"
+        );
+        Self::fit_inner(
+            data,
+            Some(bins),
+            Some((labels, n_classes)),
+            indices,
+            config,
+            rng,
+            arena,
+        )
     }
 
     fn fit_inner(
         data: &Dataset,
         bins: Option<&BinnedDataset>,
+        relabel: Option<(&[usize], usize)>,
         indices: &[usize],
         config: &TreeConfig,
         rng: &mut impl Rng,
+        arena: &mut FitArena,
     ) -> Self {
         assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
-        let n_classes = data.n_classes().max(2);
+        let n_classes = relabel.map_or_else(|| data.n_classes(), |(_, c)| c).max(2);
+        // Exact-size the output arrays from the arena's high-water
+        // marks: after the first (warm-up) fit, a tree fit allocates
+        // only these seven arrays.
         let mut tree = DecisionTree {
-            features: Vec::new(),
-            thresholds: Vec::new(),
-            lefts: Vec::new(),
-            rights: Vec::new(),
-            n_samples: Vec::new(),
-            impurity_decreases: Vec::new(),
-            leaf_counts: Vec::new(),
+            features: Vec::with_capacity(arena.max_nodes),
+            thresholds: Vec::with_capacity(arena.max_nodes),
+            lefts: Vec::with_capacity(arena.max_nodes),
+            rights: Vec::with_capacity(arena.max_nodes),
+            n_samples: Vec::with_capacity(arena.max_nodes),
+            impurity_decreases: Vec::with_capacity(arena.max_nodes),
+            leaf_counts: Vec::with_capacity(arena.max_leaf_slots),
             n_classes,
         };
-        let mut work = indices.to_vec();
-        let mut ctx = FitContext {
-            data,
-            bins,
-            scratch: HistScratch::default(),
-        };
-        tree.build(&mut ctx, &mut work, 0, config, rng);
+        let mut work = std::mem::take(&mut arena.work);
+        work.clear();
+        work.extend_from_slice(indices);
+        {
+            let mut ctx = FitContext {
+                data,
+                bins,
+                relabel: relabel.map(|(labels, _)| labels),
+                arena: &mut *arena,
+            };
+            tree.build(&mut ctx, &mut work, 0, config, rng);
+        }
+        arena.work = work;
+        arena.max_nodes = arena.max_nodes.max(tree.features.len());
+        arena.max_leaf_slots = arena.max_leaf_slots.max(tree.leaf_counts.len());
         tree
     }
 
@@ -160,14 +329,29 @@ impl DecisionTree {
     }
 
     /// The maximum depth of the tree (root = 0, single leaf = 0).
+    ///
+    /// Walks iteratively with an explicit stack: a degenerate chain of
+    /// splits as deep as the configured `max_depth` must not be able to
+    /// overflow the call stack.
     pub fn depth(&self) -> usize {
-        fn walk(tree: &DecisionTree, at: usize) -> usize {
-            if tree.features[at] == LEAF {
-                return 0;
+        let mut deepest = 0usize;
+        let mut stack = vec![(0u32, 0usize)];
+        while let Some((at, depth)) = stack.pop() {
+            let at = at as usize;
+            if self.features[at] == LEAF {
+                deepest = deepest.max(depth);
+            } else {
+                stack.push((self.lefts[at], depth + 1));
+                stack.push((self.rights[at], depth + 1));
             }
-            1 + walk(tree, tree.lefts[at] as usize).max(walk(tree, tree.rights[at] as usize))
         }
-        walk(self, 0)
+        deepest
+    }
+
+    /// The number of classes the tree distinguishes (the width
+    /// [`DecisionTree::predict_proba_into`] expects).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
     }
 
     /// Predicts the class of a feature row.
@@ -195,18 +379,29 @@ impl DecisionTree {
     /// Per-class probability estimate for a feature row (leaf class
     /// frequencies).
     pub fn predict_proba(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_classes];
+        self.predict_proba_into(row, &mut out);
+        out
+    }
+
+    /// Writes the per-class probability estimate for a feature row into
+    /// `out` — the allocation-free twin of
+    /// [`DecisionTree::predict_proba`] for per-row queries in hot loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.n_classes()`.
+    pub fn predict_proba_into(&self, row: &[f64], out: &mut [f64]) {
+        assert_eq!(out.len(), self.n_classes, "probability buffer width");
         let counts = self.leaf_counts_for(row);
         let total: usize = counts.iter().sum();
-        counts
-            .iter()
-            .map(|&c| {
-                if total == 0 {
-                    0.0
-                } else {
-                    c as f64 / total as f64
-                }
-            })
-            .collect()
+        for (slot, &count) in out.iter_mut().zip(counts) {
+            *slot = if total == 0 {
+                0.0
+            } else {
+                count as f64 / total as f64
+            };
+        }
     }
 
     /// Appends this tree's nodes to a [`crate::packed`] arena, offsetting
@@ -245,10 +440,16 @@ impl DecisionTree {
                 self.rights[at]
             } as usize;
         }
-        &self.leaf_counts[self.lefts[at] as usize]
+        let start = self.lefts[at] as usize * self.n_classes;
+        &self.leaf_counts[start..start + self.n_classes]
     }
 
     /// Builds the subtree over `indices`, returning its root node id.
+    ///
+    /// All per-node scratch is borrowed from `ctx.arena`; nothing from
+    /// the split search outlives the recursion into the children, so
+    /// single (not per-depth) buffers suffice and no heap allocation
+    /// happens per node.
     fn build(
         &mut self,
         ctx: &mut FitContext<'_>,
@@ -258,29 +459,65 @@ impl DecisionTree {
         rng: &mut impl Rng,
     ) -> usize {
         let data = ctx.data;
-        let counts = self.class_counts(data, indices);
-        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
-        if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
-            return self.push_leaf(counts);
+        let relabel = ctx.relabel;
+        let n = indices.len();
+        {
+            let FitArena {
+                node_counts: counts,
+                node_labels: labels,
+                ..
+            } = &mut *ctx.arena;
+            counts.clear();
+            counts.resize(self.n_classes, 0);
+            labels.clear();
+            labels.extend(indices.iter().map(|&i| {
+                let label = label_of(data, relabel, i);
+                counts[label] += 1;
+                u32::try_from(label).expect("class id fits u32")
+            }));
+        }
+        let pure = ctx.arena.node_counts.iter().filter(|&&c| c > 0).count() <= 1;
+        if pure || depth >= config.max_depth || n < config.min_samples_split {
+            return self.push_leaf(&ctx.arena.node_counts);
+        }
+        // Computed before the split search so `node_counts` only needs
+        // to survive it, not the recursion.
+        let parent_gini = gini(&ctx.arena.node_counts, n);
+        // Prepare this depth's constant-feature mask frame: inherit the
+        // parent's discoveries (the root starts empty). The second
+        // child re-copies the parent frame, so a sibling subtree's
+        // discoveries never leak across.
+        if ctx.bins.is_some() {
+            let words = data.n_features().div_ceil(64);
+            let masks = &mut ctx.arena.constant_masks;
+            let end = (depth + 1) * words;
+            if masks.len() < end {
+                masks.resize(end, 0);
+            }
+            if depth == 0 {
+                masks[..words].fill(0);
+            } else {
+                masks.copy_within((depth - 1) * words..depth * words, depth * words);
+            }
         }
         let split = match ctx.bins {
-            Some(bins) => self.best_split_hist(data, bins, &mut ctx.scratch, indices, config, rng),
-            None => self.best_split(data, indices, config, rng),
+            Some(_) => self.best_split_hist(ctx, indices, depth, config, rng),
+            None => self.best_split(ctx, indices, config, rng),
         };
         match split {
             Some((feature, threshold, weighted_child_gini)) => {
                 let split_at = partition(data, indices, feature, threshold);
                 if split_at < config.min_samples_leaf
-                    || indices.len() - split_at < config.min_samples_leaf
+                    || n - split_at < config.min_samples_leaf
                     || split_at == 0
-                    || split_at == indices.len()
+                    || split_at == n
                 {
-                    return self.push_leaf(counts);
+                    // The split search reads `node_counts` but never
+                    // writes them, so they still describe this node.
+                    return self.push_leaf(&ctx.arena.node_counts);
                 }
                 // Reserve the node id before children so the root is node 0.
                 let id = self.push_placeholder();
-                let parent_gini = gini(&counts, indices.len());
-                let n_samples = indices.len();
                 let (left_idx, right_idx) = indices.split_at_mut(split_at);
                 let left = self.build(ctx, left_idx, depth + 1, config, rng);
                 let right = self.build(ctx, right_idx, depth + 1, config, rng);
@@ -288,11 +525,11 @@ impl DecisionTree {
                 self.thresholds[id] = threshold;
                 self.lefts[id] = u32::try_from(left).expect("node id fits u32");
                 self.rights[id] = u32::try_from(right).expect("node id fits u32");
-                self.n_samples[id] = n_samples;
+                self.n_samples[id] = n;
                 self.impurity_decreases[id] = (parent_gini - weighted_child_gini).max(0.0);
                 id
             }
-            None => self.push_leaf(counts),
+            None => self.push_leaf(&ctx.arena.node_counts),
         }
     }
 
@@ -307,34 +544,38 @@ impl DecisionTree {
         id
     }
 
-    fn push_leaf(&mut self, counts: Vec<usize>) -> usize {
+    fn push_leaf(&mut self, counts: &[usize]) -> usize {
         let id = self.push_placeholder();
         self.n_samples[id] = counts.iter().sum();
-        self.lefts[id] = u32::try_from(self.leaf_counts.len()).expect("leaf id fits u32");
-        self.rights[id] = u32::try_from(argmax(&counts)).expect("class id fits u32");
-        self.leaf_counts.push(counts);
+        let leaf_id = self.leaf_counts.len() / self.n_classes;
+        self.lefts[id] = u32::try_from(leaf_id).expect("leaf id fits u32");
+        self.rights[id] = u32::try_from(argmax(counts)).expect("class id fits u32");
+        self.leaf_counts.extend_from_slice(counts);
         id
-    }
-
-    fn class_counts(&self, data: &Dataset, indices: &[usize]) -> Vec<usize> {
-        let mut counts = vec![0usize; self.n_classes];
-        for &i in indices {
-            counts[data.label(i)] += 1;
-        }
-        counts
     }
 
     /// Finds the `(feature, threshold)` minimizing weighted Gini impurity
     /// over the candidate features, or `None` if no split improves.
     fn best_split(
         &self,
-        data: &Dataset,
+        ctx: &mut FitContext<'_>,
         indices: &[usize],
         config: &TreeConfig,
         rng: &mut impl Rng,
     ) -> Option<(usize, f64, f64)> {
+        let data = ctx.data;
+        let FitArena {
+            candidates,
+            node_counts,
+            node_labels,
+            left_counts,
+            right_counts,
+            column,
+            ..
+        } = &mut *ctx.arena;
         let n_features = data.n_features();
-        let mut candidates: Vec<usize> = (0..n_features).collect();
+        candidates.clear();
+        candidates.extend(0..n_features);
         let limit = match config.n_candidate_features {
             Some(k) => {
                 candidates.shuffle(rng);
@@ -351,8 +592,14 @@ impl DecisionTree {
         // like scikit-learn, keep drawing until `limit` splittable
         // features were examined or the feature set is exhausted.
         let mut examined = 0usize;
-        let mut column: Vec<(f64, usize)> = Vec::with_capacity(indices.len());
-        for &feature in &candidates {
+        // `node_counts` already holds this node's class counts (read-only
+        // here: `build` reuses them after the search).
+        let parent_counts: &[usize] = node_counts;
+        left_counts.clear();
+        left_counts.resize(self.n_classes, 0);
+        right_counts.clear();
+        right_counts.resize(self.n_classes, 0);
+        for &feature in candidates.iter() {
             if examined >= limit {
                 break;
             }
@@ -360,7 +607,8 @@ impl DecisionTree {
             column.extend(
                 indices
                     .iter()
-                    .map(|&i| (data.row(i)[feature], data.label(i))),
+                    .zip(node_labels.iter())
+                    .map(|(&i, &label)| (data.row(i)[feature], label as usize)),
             );
             column.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
             let total = column.len();
@@ -368,8 +616,8 @@ impl DecisionTree {
                 continue; // constant feature: no threshold exists
             }
             examined += 1;
-            let mut left_counts = vec![0usize; self.n_classes];
-            let mut right_counts = self.class_counts(data, indices);
+            left_counts.fill(0);
+            right_counts.copy_from_slice(parent_counts);
             for pos in 0..total - 1 {
                 let (value, label) = column[pos];
                 left_counts[label] += 1;
@@ -380,8 +628,8 @@ impl DecisionTree {
                 }
                 let n_left = pos + 1;
                 let n_right = total - n_left;
-                let weighted = (n_left as f64 * gini(&left_counts, n_left)
-                    + n_right as f64 * gini(&right_counts, n_right))
+                let weighted = (n_left as f64 * gini(left_counts, n_left)
+                    + n_right as f64 * gini(right_counts, n_right))
                     / total as f64;
                 if best.is_none_or(|(g, _, _)| weighted + 1e-12 < g) {
                     best = Some((weighted, feature, (value + next_value) / 2.0));
@@ -406,15 +654,32 @@ impl DecisionTree {
     /// RNG stream and the returned split are bit-identical.
     fn best_split_hist(
         &self,
-        data: &Dataset,
-        bins: &BinnedDataset,
-        scratch: &mut HistScratch,
+        ctx: &mut FitContext<'_>,
         indices: &[usize],
+        depth: usize,
         config: &TreeConfig,
         rng: &mut impl Rng,
     ) -> Option<(usize, f64, f64)> {
+        // Binary problems (every one-vs-rest bank classifier) take the
+        // packed-counter fill — same counts, same splits, fewer ops.
+        if self.n_classes == 2 && indices.len() < (1 << 16) {
+            return self.best_split_hist_binary(ctx, indices, depth, config, rng);
+        }
+        let data = ctx.data;
+        let bins = ctx.bins.expect("histogram split search needs bins");
+        let FitArena {
+            candidates,
+            node_counts,
+            node_labels,
+            left_counts,
+            right_counts,
+            hist: scratch,
+            constant_masks,
+            ..
+        } = &mut *ctx.arena;
         let n_features = data.n_features();
-        let mut candidates: Vec<usize> = (0..n_features).collect();
+        candidates.clear();
+        candidates.extend(0..n_features);
         let limit = match config.n_candidate_features {
             Some(k) => {
                 candidates.shuffle(rng);
@@ -422,14 +687,20 @@ impl DecisionTree {
             }
             None => n_features,
         };
+        let words = n_features.div_ceil(64);
+        let mask = &mut constant_masks[depth * words..(depth + 1) * words];
         let total = indices.len();
         let n_classes = self.n_classes;
-        let parent_counts = self.class_counts(data, indices);
+        // `node_counts` already holds this node's class counts (read-only
+        // here: `build` reuses them after the search).
+        let parent_counts: &[usize] = node_counts;
         let mut best: Option<(f64, usize, f64)> = None;
         let mut examined = 0usize;
-        let mut left_counts = vec![0usize; n_classes];
-        let mut right_counts = vec![0usize; n_classes];
-        for &feature in &candidates {
+        left_counts.clear();
+        left_counts.resize(n_classes, 0);
+        right_counts.clear();
+        right_counts.resize(n_classes, 0);
+        for &feature in candidates.iter() {
             if examined >= limit {
                 break;
             }
@@ -437,34 +708,31 @@ impl DecisionTree {
             if n_bins <= 1 {
                 continue; // globally constant feature: no threshold exists
             }
+            // A feature constant *within the node* does not count
+            // against the candidate budget — the exact scan's
+            // `column[0] == column[total - 1]` check. Ancestor-constant
+            // features skip via the mask; otherwise an early-exit scan
+            // for a second distinct code decides (and records) it,
+            // without paying for a histogram fill.
+            let bit = 1u64 << (feature % 64);
+            if mask[feature / 64] & bit != 0 {
+                continue;
+            }
             let codes = bins.column(feature);
-            let hist = scratch.zeroed(n_bins, n_classes);
-            for &i in indices {
-                hist[codes[i] as usize * n_classes + data.label(i)] += 1;
-            }
-            let hist: &[u32] = hist;
-            // A feature constant *within the node* (one non-empty bin)
-            // does not count against the candidate budget — the exact
-            // scan's `column[0] == column[total - 1]` check.
-            let mut present = 0usize;
-            for b in 0..n_bins {
-                if hist[b * n_classes..(b + 1) * n_classes]
-                    .iter()
-                    .any(|&c| c > 0)
-                {
-                    present += 1;
-                    if present >= 2 {
-                        break;
-                    }
-                }
-            }
-            if present < 2 {
+            let first = codes[indices[0]];
+            if indices[1..].iter().all(|&i| codes[i] == first) {
+                mask[feature / 64] |= bit;
                 continue;
             }
             examined += 1;
+            let hist = scratch.zeroed(n_bins, n_classes);
+            for (&i, &label) in indices.iter().zip(node_labels.iter()) {
+                hist[codes[i] as usize * n_classes + label as usize] += 1;
+            }
+            let hist: &[u32] = hist;
             let values = bins.bin_values(feature);
             left_counts.fill(0);
-            right_counts.copy_from_slice(&parent_counts);
+            right_counts.copy_from_slice(parent_counts);
             let mut n_left = 0usize;
             let mut prev_value = 0.0f64;
             let mut started = false;
@@ -480,8 +748,8 @@ impl DecisionTree {
                     // candidate threshold is the same midpoint the sorted
                     // scan evaluates between adjacent present values.
                     let n_right = total - n_left;
-                    let weighted = (n_left as f64 * gini(&left_counts, n_left)
-                        + n_right as f64 * gini(&right_counts, n_right))
+                    let weighted = (n_left as f64 * gini(left_counts, n_left)
+                        + n_right as f64 * gini(right_counts, n_right))
                         / total as f64;
                     if best.is_none_or(|(g, _, _)| weighted + 1e-12 < g) {
                         best = Some((weighted, feature, (prev_value + value) / 2.0));
@@ -491,6 +759,120 @@ impl DecisionTree {
                     left_counts[class] += count as usize;
                     right_counts[class] -= count as usize;
                 }
+                n_left += bin_total;
+                prev_value = value;
+                started = true;
+            }
+        }
+        best.map(|(weighted, feature, threshold)| (feature, threshold, weighted))
+    }
+
+    /// [`DecisionTree::best_split_hist`] specialized to two classes —
+    /// the shape of every one-vs-rest bank classifier, and the hottest
+    /// loop of bank training.
+    ///
+    /// Each bin's two class counts are packed into one `u32` (total in
+    /// the low half, class-1 count in the high half; sound because the
+    /// caller guarantees `indices.len() < 2^16`), so the per-row fill is
+    /// a single gather + increment over a half-sized histogram. The
+    /// counts unpacked in the sweep are the same integers the generic
+    /// fill produces, the sweep feeds them through the same [`gini`]
+    /// arithmetic via the same `left/right_counts` buffers, and the RNG
+    /// consumption is identical — so the chosen split is bit-identical
+    /// (covered by the same differential proptests).
+    fn best_split_hist_binary(
+        &self,
+        ctx: &mut FitContext<'_>,
+        indices: &[usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Option<(usize, f64, f64)> {
+        let data = ctx.data;
+        let bins = ctx.bins.expect("histogram split search needs bins");
+        let FitArena {
+            candidates,
+            node_counts,
+            node_labels,
+            left_counts,
+            right_counts,
+            hist: scratch,
+            constant_masks,
+            ..
+        } = &mut *ctx.arena;
+        let n_features = data.n_features();
+        candidates.clear();
+        candidates.extend(0..n_features);
+        let limit = match config.n_candidate_features {
+            Some(k) => {
+                candidates.shuffle(rng);
+                k.max(1).min(n_features)
+            }
+            None => n_features,
+        };
+        let words = n_features.div_ceil(64);
+        let mask = &mut constant_masks[depth * words..(depth + 1) * words];
+        let total = indices.len();
+        let parent_counts: &[usize] = node_counts;
+        let mut best: Option<(f64, usize, f64)> = None;
+        let mut examined = 0usize;
+        left_counts.clear();
+        left_counts.resize(2, 0);
+        right_counts.clear();
+        right_counts.resize(2, 0);
+        for &feature in candidates.iter() {
+            if examined >= limit {
+                break;
+            }
+            let n_bins = bins.n_bins(feature);
+            if n_bins <= 1 {
+                continue; // globally constant feature: no threshold exists
+            }
+            // Constant-in-node features do not count against the
+            // candidate budget, like the exact scan; see
+            // `best_split_hist` for the mask + early-exit scheme.
+            let bit = 1u64 << (feature % 64);
+            if mask[feature / 64] & bit != 0 {
+                continue;
+            }
+            let codes = bins.column(feature);
+            let first = codes[indices[0]];
+            if indices[1..].iter().all(|&i| codes[i] == first) {
+                mask[feature / 64] |= bit;
+                continue;
+            }
+            examined += 1;
+            let hist = scratch.zeroed(n_bins, 1);
+            for (&i, &label) in indices.iter().zip(node_labels.iter()) {
+                hist[codes[i] as usize] += 1 + (label << 16);
+            }
+            let hist: &[u32] = hist;
+            let values = bins.bin_values(feature);
+            left_counts.fill(0);
+            right_counts.copy_from_slice(parent_counts);
+            let mut n_left = 0usize;
+            let mut prev_value = 0.0f64;
+            let mut started = false;
+            for (b, &packed) in hist.iter().enumerate() {
+                if packed == 0 {
+                    continue;
+                }
+                let bin_total = (packed & 0xFFFF) as usize;
+                let ones = (packed >> 16) as usize;
+                let value = values[b];
+                if started {
+                    let n_right = total - n_left;
+                    let weighted = (n_left as f64 * gini(left_counts, n_left)
+                        + n_right as f64 * gini(right_counts, n_right))
+                        / total as f64;
+                    if best.is_none_or(|(g, _, _)| weighted + 1e-12 < g) {
+                        best = Some((weighted, feature, (prev_value + value) / 2.0));
+                    }
+                }
+                left_counts[0] += bin_total - ones;
+                left_counts[1] += ones;
+                right_counts[0] -= bin_total - ones;
+                right_counts[1] -= ones;
                 n_left += bin_total;
                 prev_value = value;
                 started = true;

@@ -1,0 +1,138 @@
+//! Counting-allocator audit of the arena fitting path: after one
+//! warm-up fit has stretched the [`FitArena`] scratch buffers (and its
+//! high-water marks), every subsequent tree fit must perform only the
+//! handful of exact-sized output-array allocations — zero per-node
+//! allocations in split search, leaf construction or partitioning.
+//!
+//! This lives in its own integration-test binary because a
+//! `#[global_allocator]` is process-wide: any neighbouring test running
+//! concurrently would perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sentinel_ml::{BinnedDataset, Dataset, DecisionTree, FitArena, TreeConfig};
+
+/// Passes everything through to [`System`], counting every allocation
+/// and reallocation (deallocations are free and uncounted).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A deterministic dataset with heavy per-column duplication (like the
+/// bit-features of `F'`), built without consuming any RNG.
+fn corpus() -> Dataset {
+    let mut data = Dataset::new(12);
+    let mut row = [0.0f64; 12];
+    for i in 0..240usize {
+        for (f, slot) in row.iter_mut().enumerate() {
+            *slot = ((i * (f + 3) + f * f) % 7) as f64 * 0.5;
+        }
+        data.push(&row, i % 3);
+    }
+    data
+}
+
+// The output tree is seven exact-sized arrays (features, thresholds,
+// lefts, rights, leaf_counts, plus the two returned-Vec spines inside
+// the tree's leaf bookkeeping); everything else must come from the
+// arena. A little headroom tolerates allocator-internal bookkeeping.
+const STEADY_STATE_BUDGET: usize = 12;
+
+#[test]
+fn steady_state_tree_fits_do_not_allocate_per_node() {
+    let data = corpus();
+    let bins = BinnedDataset::build(&data);
+    let indices: Vec<usize> = (0..data.len()).collect();
+    let labels: Vec<usize> = (0..data.len()).map(|i| usize::from(i % 3 == 0)).collect();
+    let config = TreeConfig {
+        max_depth: 8,
+        min_samples_split: 2,
+        min_samples_leaf: 1,
+        n_candidate_features: Some(4),
+    };
+    let mut arena = FitArena::new();
+
+    // Warm-up: stretches every scratch buffer and records the
+    // high-water marks that pre-size the output arrays.
+    let warm_binned = DecisionTree::fit_binned_in(
+        &data,
+        &bins,
+        &indices,
+        &config,
+        &mut StdRng::seed_from_u64(9),
+        &mut arena,
+    );
+    let warm_view = DecisionTree::fit_view_in(
+        &data,
+        &bins,
+        &indices,
+        &labels,
+        2,
+        &config,
+        &mut StdRng::seed_from_u64(9),
+        &mut arena,
+    );
+
+    // Steady state, histogram path: identical fit, warm arena.
+    let before = allocations();
+    let again = DecisionTree::fit_binned_in(
+        &data,
+        &bins,
+        &indices,
+        &config,
+        &mut StdRng::seed_from_u64(9),
+        &mut arena,
+    );
+    let spent = allocations() - before;
+    assert_eq!(warm_binned, again, "arena reuse must not change the fit");
+    assert!(
+        spent <= STEADY_STATE_BUDGET,
+        "histogram fit allocated {spent} times in steady state (budget {STEADY_STATE_BUDGET})"
+    );
+
+    // Steady state, corpus-view path (the classifier bank's hot loop).
+    let before = allocations();
+    let again = DecisionTree::fit_view_in(
+        &data,
+        &bins,
+        &indices,
+        &labels,
+        2,
+        &config,
+        &mut StdRng::seed_from_u64(9),
+        &mut arena,
+    );
+    let spent = allocations() - before;
+    assert_eq!(warm_view, again, "arena reuse must not change the fit");
+    assert!(
+        spent <= STEADY_STATE_BUDGET,
+        "view fit allocated {spent} times in steady state (budget {STEADY_STATE_BUDGET})"
+    );
+}

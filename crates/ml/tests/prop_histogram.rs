@@ -59,6 +59,60 @@ proptest! {
         prop_assert_eq!(&exact, &binned, "histogram tree diverged from sorted-scan tree");
     }
 
+    /// Three-way identity for the bank's corpus-shared training path:
+    /// a forest fit over an index *view* of the full corpus (with the
+    /// one-vs-rest label remap, against bins built over the whole
+    /// corpus) must equal both the forest fit on a materialized copy of
+    /// those rows (bins built over the copy alone) and the exact
+    /// sorted-scan reference — at every thread count. This is the
+    /// losslessness claim of `RandomForest::fit_view`: corpus bins that
+    /// are empty inside the view never contribute a candidate threshold.
+    #[test]
+    fn view_forest_is_bit_identical_to_materialized_subset(
+        data in dataset_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let offset = (seed % 3) as usize;
+        let mut rows: Vec<usize> = (0..data.len()).filter(|i| !(i + offset).is_multiple_of(3)).collect();
+        if rows.is_empty() {
+            rows = (0..data.len()).collect();
+        }
+        // Binary remap, exactly as the classifier bank applies it.
+        let labels: Vec<usize> = rows.iter().map(|&i| usize::from(data.label(i) == 0)).collect();
+        let mut subset = Dataset::new(data.n_features());
+        for (&i, &label) in rows.iter().zip(&labels) {
+            subset.push(data.row(i), label);
+        }
+        let base = ForestConfig {
+            n_trees: 12,
+            feature_subsample: FeatureSubsample::Sqrt,
+            max_depth: 8,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            seed,
+            threads: 1,
+        };
+        let exact = RandomForest::fit_exact(&subset, &base);
+        let materialized = RandomForest::fit(&subset, &base);
+        prop_assert_eq!(&exact, &materialized, "materialized histogram forest diverged from exact");
+        let bins = BinnedDataset::build(&data);
+        for threads in [1usize, 2, 8] {
+            let view = RandomForest::fit_view(
+                &data,
+                &bins,
+                &rows,
+                &labels,
+                &base.clone().with_threads(threads),
+            );
+            prop_assert_eq!(
+                &materialized,
+                &view,
+                "corpus-shared view forest diverged at {} threads",
+                threads
+            );
+        }
+    }
+
     #[test]
     fn binned_forest_is_bit_identical_at_any_thread_count(
         data in dataset_strategy(),
