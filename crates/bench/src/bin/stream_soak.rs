@@ -1,19 +1,23 @@
 //! Soak test of the streaming onboarding runtime: many interleaved
 //! device setups pushed through `sentinel-stream` as fast as the
-//! hardware allows, reporting packets/sec, peak resident sessions and
-//! shed count as BENCH JSON.
+//! hardware allows, swept over a list of worker-thread counts to show
+//! multi-core scaling of the shard-end-to-end pipeline. Reports
+//! packets/sec and speedup vs the single-threaded run as BENCH JSON.
 //!
 //! ```text
 //! cargo run --release -p sentinel-bench --bin stream_soak
-//! cargo run --release -p sentinel-bench --bin stream_soak -- --smoke
+//! cargo run --release -p sentinel-bench --bin stream_soak -- --smoke --threads 1,4
 //! cargo run --release -p sentinel-bench --bin stream_soak -- \
-//!     --sessions 4000 --capacity 256 --threads 8 --json results/bench_stream.json
+//!     --sessions 4000 --capacity 256 --threads 1,2,4,8 --json results/bench_stream.json
 //! ```
 //!
 //! The workload is deliberately oversubscribed by default: more devices
 //! are mid-setup than the bounded session table admits, so the LRU
 //! overflow policy is exercised and the reported peak stays pinned at
-//! the configured capacity.
+//! the configured capacity. One service is trained once and shared by
+//! reference across every configuration; the bench asserts that reports
+//! and stats are identical at every thread count (the runtime's
+//! determinism contract) before reporting throughput.
 
 use std::time::{Duration, Instant};
 
@@ -25,6 +29,7 @@ use sentinel_core::{
 use sentinel_devicesim::{catalog, interleave, Testbed};
 use sentinel_ml::ForestConfig;
 use sentinel_netproto::stream::MemoryFrameSource;
+use sentinel_netproto::Timestamp;
 use sentinel_stream::{StreamConfig, StreamRuntime};
 
 fn main() {
@@ -34,9 +39,19 @@ fn main() {
     let train_runs: u64 = args.get("train-runs", if smoke { 5 } else { 10 });
     let trees: usize = args.get("trees", 25);
     let seed: u64 = args.get("seed", 42);
-    let threads: usize = args.get("threads", 1);
     let capacity: usize = args.get("capacity", 512);
     let stagger_us: u64 = args.get("stagger-us", 1500);
+    let threads: Vec<usize> = args
+        .get_str("threads")
+        .unwrap_or(if smoke { "1,4" } else { "1,2,4,8" })
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid thread count in --threads: {t:?}"))
+        })
+        .collect();
+    assert!(!threads.is_empty(), "--threads needs at least one count");
 
     print!(
         "{}",
@@ -44,10 +59,11 @@ fn main() {
     );
     println!(
         "{sessions} concurrent setups (stagger {stagger_us} µs), table capacity {capacity}, \
-         {threads} thread(s)\n"
+         thread sweep {threads:?}\n"
     );
 
-    // --- Train the IoTSSP (outside the measured window). ---
+    // --- Train the IoTSSP once (outside the measured window); every
+    // --- configuration shares it by reference.
     let devices = catalog();
     let dataset = FingerprintDataset::collect(&devices, train_runs, seed);
     let service_config = ServiceConfig {
@@ -75,61 +91,85 @@ fn main() {
     // delivers is bytes, and the measured path is the runtime's
     // zero-copy wire-scan ingest (`run_frames`), which never builds a
     // `Packet` for a frame the scanner certifies.
-    let frames = MemoryFrameSource::from_packets(&packets);
+    let frames: Vec<(Timestamp, Vec<u8>)> =
+        packets.iter().map(|p| (p.timestamp, p.encode())).collect();
     drop(packets);
 
-    // --- The measured streaming window. ---
-    let config = StreamConfig {
-        max_sessions: capacity,
-        threads,
-        ..StreamConfig::default()
-    };
-    let effective_capacity = config.effective_capacity();
-    let mut runtime = StreamRuntime::with_config(service, config);
-    let start = Instant::now();
-    let reports = runtime
-        .run_frames(frames)
-        .expect("in-memory source cannot fail");
-    let elapsed = start.elapsed();
+    // --- The measured streaming windows, one per thread count. ---
+    let mut records = Vec::new();
+    let mut baseline: Option<(sentinel_stream::StreamStats, Vec<_>, f64)> = None;
+    for &t in &threads {
+        let config = StreamConfig {
+            max_sessions: capacity,
+            threads: t,
+            ..StreamConfig::default()
+        };
+        let effective_capacity = config.effective_capacity();
+        let mut runtime = StreamRuntime::with_config(&service, config);
+        let source = MemoryFrameSource::new(frames.clone());
+        let start = Instant::now();
+        let reports = runtime
+            .run_frames(source)
+            .expect("in-memory source cannot fail");
+        let elapsed = start.elapsed();
 
-    let stats = runtime.stats().clone();
-    let pps = total_packets as f64 / elapsed.as_secs_f64();
-    assert!(
-        stats.peak_resident_sessions <= effective_capacity,
-        "peak {} exceeded the capacity bound {}",
-        stats.peak_resident_sessions,
-        effective_capacity
-    );
+        let stats = runtime.stats().clone();
+        let pps = total_packets as f64 / elapsed.as_secs_f64();
+        assert!(
+            stats.peak_resident_sessions <= effective_capacity,
+            "peak {} exceeded the capacity bound {}",
+            stats.peak_resident_sessions,
+            effective_capacity
+        );
+        // The determinism contract: every configuration must produce
+        // bit-identical reports and stats before throughput means
+        // anything.
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((stats.clone(), reports, pps));
+                1.0
+            }
+            Some((base_stats, base_reports, base_pps)) => {
+                assert_eq!(&stats, base_stats, "stats diverged at {t} threads");
+                assert_eq!(&reports, base_reports, "reports diverged at {t} threads");
+                pps / base_pps
+            }
+        };
 
+        println!(
+            "threads {t:>2}: {total_packets} packets in {:7.1} ms  \
+             {pps:>10.0} pps  speedup {speedup:.2}x",
+            elapsed.as_secs_f64() * 1e3
+        );
+        records.push(format!(
+            "    {{\"threads\": {t}, \"elapsed_ms\": {:.3}, \"packets_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}",
+            elapsed.as_secs_f64() * 1e3,
+            pps,
+            speedup
+        ));
+    }
+
+    let (stats, reports, _) = baseline.expect("at least one configuration ran");
     println!(
-        "streamed {total_packets} packets in {:.1} ms",
-        elapsed.as_secs_f64() * 1e3
-    );
-    println!("throughput          {:.0} packets/sec", pps);
-    println!(
-        "sessions            {} opened, {} completed, {} shed",
+        "\nsessions            {} opened, {} completed, {} shed",
         stats.sessions_opened,
         stats.sessions_completed(),
         stats.sessions_evicted
     );
-    println!(
-        "peak resident       {} (bound {effective_capacity})",
-        stats.peak_resident_sessions
-    );
+    println!("peak resident       {}", stats.peak_resident_sessions);
     println!("onboardings         {} reports ({})", reports.len(), stats);
 
     if let Some(path) = args.get_str("json") {
         let stats_json = serde_json::to_string(&stats).expect("stats serialize");
         let json = format!(
             "{{\n  \"bench\": \"stream_soak\",\n  \"sessions\": {sessions},\n  \
-             \"train_runs\": {train_runs},\n  \"seed\": {seed},\n  \"threads\": {threads},\n  \
-             \"capacity\": {capacity},\n  \"effective_capacity\": {effective_capacity},\n  \
-             \"stagger_us\": {stagger_us},\n  \"packets\": {total_packets},\n  \
-             \"elapsed_ms\": {:.3},\n  \"packets_per_sec\": {:.0},\n  \
+             \"train_runs\": {train_runs},\n  \"seed\": {seed},\n  \
+             \"capacity\": {capacity},\n  \"stagger_us\": {stagger_us},\n  \
+             \"packets\": {total_packets},\n  \"runs\": [\n{}\n  ],\n  \
              \"peak_resident_sessions\": {},\n  \"sessions_evicted\": {},\n  \
              \"stats\": {stats_json}\n}}\n",
-            elapsed.as_secs_f64() * 1e3,
-            pps,
+            records.join(",\n"),
             stats.peak_resident_sessions,
             stats.sessions_evicted,
         );

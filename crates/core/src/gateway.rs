@@ -9,6 +9,7 @@ use sentinel_fingerprint::{FeatureExtractor, FixedFingerprint};
 use sentinel_netproto::{MacAddr, Packet, ParseError, RawFeatures, Timestamp};
 use sentinel_sdn::{EnforcementModule, EnforcementRule, IsolationLevel, OvsSwitch, SwitchDecision};
 
+use crate::identify::AssessKey;
 use crate::report::OnboardingReport;
 use crate::SecurityService;
 
@@ -34,6 +35,9 @@ struct MonitorState {
     extractor: FeatureExtractor,
     packets: usize,
     last_seen: Timestamp,
+    /// Stream sequence number of the last packet this monitor absorbed
+    /// (the assessment key when the device is finalized explicitly).
+    last_seq: u64,
 }
 
 /// The Security Gateway: monitors new devices, extracts their
@@ -47,6 +51,14 @@ pub struct SecurityGateway<S> {
     onboarded: HashMap<MacAddr, OnboardingReport>,
     switch: OvsSwitch,
     module: EnforcementModule,
+    /// Stream sequence counter: every well-formed observed packet
+    /// consumes one number (including packets from ignored or already
+    /// onboarded MACs; malformed frames consume none). Assessments are
+    /// keyed by `(seq, mac)` under the v2 pinned RNG contract, so a
+    /// gateway fed a packet stream and a sharded `StreamRuntime`
+    /// (`sentinel-stream`) fed the same stream derive identical keys —
+    /// and identical reports.
+    next_seq: u64,
 }
 
 impl<S: SecurityService> SecurityGateway<S> {
@@ -65,6 +77,7 @@ impl<S: SecurityService> SecurityGateway<S> {
             onboarded: HashMap::new(),
             switch: OvsSwitch::lab(),
             module: EnforcementModule::new(),
+            next_seq: 0,
         }
     }
 
@@ -98,6 +111,12 @@ impl<S: SecurityService> SecurityGateway<S> {
 
     /// The shared monitoring state machine behind both observe paths.
     fn observe_raw(&mut self, raw: &RawFeatures, timestamp: Timestamp) -> Option<OnboardingReport> {
+        // Every well-formed packet consumes one sequence number, even
+        // from ignored or onboarded MACs: the counter tracks stream
+        // position, not monitoring activity, so it agrees with the
+        // streaming runtime's packet indices.
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let mac = raw.src_mac;
         if self.config.ignored.contains(&mac) || self.onboarded.contains_key(&mac) {
             return None;
@@ -107,21 +126,25 @@ impl<S: SecurityService> SecurityGateway<S> {
             extractor: FeatureExtractor::with_capacity(capacity),
             packets: 0,
             last_seen: timestamp,
+            last_seq: seq,
         });
         // Setup-end detection: a long transmission gap after enough
         // packets closes the setup phase; the new packet belongs to the
-        // device's steady-state traffic.
+        // device's steady-state traffic. The completion is keyed by the
+        // *closing* packet's sequence number (it triggered assessment,
+        // even though it is not part of the fingerprint).
         if monitor.packets >= self.config.detector.min_packets
             && timestamp.saturating_since(monitor.last_seen) >= self.config.detector.idle_gap
         {
-            let report = self.finalize(mac);
+            let report = self.finalize_at(mac, seq);
             return report;
         }
         monitor.extractor.push_raw(raw);
         monitor.packets += 1;
         monitor.last_seen = timestamp;
+        monitor.last_seq = seq;
         if monitor.packets >= self.config.detector.max_packets {
-            return self.finalize(mac);
+            return self.finalize_at(mac, seq);
         }
         None
     }
@@ -129,12 +152,25 @@ impl<S: SecurityService> SecurityGateway<S> {
     /// Forces fingerprinting and identification of a monitored device
     /// (e.g. when its setup activity clearly ended). Returns `None` if
     /// the MAC was not being monitored.
+    ///
+    /// Keyed by the last packet the monitor absorbed: an explicit flush
+    /// assesses the device exactly as if its last packet had completed
+    /// the window.
     pub fn finalize(&mut self, mac: MacAddr) -> Option<OnboardingReport> {
+        let seq = self.monitors.get(&mac)?.last_seq;
+        self.finalize_at(mac, seq)
+    }
+
+    /// Assessment + enforcement for a monitored device, keyed by `seq`
+    /// under the v2 pinned RNG contract ([`AssessKey`]).
+    fn finalize_at(&mut self, mac: MacAddr, seq: u64) -> Option<OnboardingReport> {
         let monitor = self.monitors.remove(&mac)?;
         let setup_packets = monitor.packets;
         let full = monitor.extractor.finish();
         let fixed = FixedFingerprint::from_fingerprint(&full);
-        let response = self.service.assess(&full, &fixed);
+        let response = self
+            .service
+            .assess_keyed(&full, &fixed, AssessKey::new(seq, mac));
         let rule = match response.isolation {
             IsolationLevel::Strict => EnforcementRule::strict(mac),
             IsolationLevel::Restricted => {

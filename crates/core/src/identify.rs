@@ -15,11 +15,91 @@ use serde::{Deserialize, Serialize};
 use sentinel_fingerprint::editdist::{osa_distance, osa_distance_bounded};
 use sentinel_fingerprint::{Fingerprint, FixedFingerprint, InternedFingerprint, SymbolTable};
 use sentinel_ml::parallel;
+use sentinel_ml::pinned::PinnedRng;
 use sentinel_ml::sampling::sample_without_replacement;
 use sentinel_ml::PackedForest;
+use sentinel_netproto::MacAddr;
 
 use crate::report::{Identification, Outcome};
 use crate::{BankConfig, ClassifierBank, FingerprintDataset};
+
+/// The deterministic key of one assessment in a packet stream: the
+/// stream sequence number of the packet that completed the device's
+/// setup phase, plus the device MAC.
+///
+/// Keyed identification ([`Identifier::identify_keyed`]) derives its
+/// entire discrimination randomness — reference sampling and tie-breaks
+/// — from `(seed, key)` through the v2 pinned RNG contract
+/// ([`sentinel_ml::pinned`]). The answer is therefore a pure function of
+/// the trained model, the fingerprints and this key: two completions
+/// assess identically no matter which shard, thread or order serves
+/// them, which is what lets a streaming runtime score stage 2 inside
+/// its parallel region. The v1 shared-`StdRng` stream (still behind the
+/// unkeyed [`Identifier::identify`], for evaluation harnesses) is
+/// order-dependent and superseded by this contract on every onboarding
+/// path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AssessKey {
+    /// Stream sequence of the completing packet (unique per stream).
+    pub seq: u64,
+    /// The assessed device's MAC address.
+    pub mac: MacAddr,
+}
+
+impl AssessKey {
+    /// Builds the key for a completion.
+    pub fn new(seq: u64, mac: MacAddr) -> Self {
+        AssessKey { seq, mac }
+    }
+
+    /// The MAC's 48 bits as the low key word.
+    fn mac_bits(self) -> u64 {
+        self.mac
+            .octets()
+            .iter()
+            .fold(0u64, |bits, &byte| (bits << 8) | u64::from(byte))
+    }
+
+    /// The pinned per-completion generator for a model seed.
+    pub(crate) fn rng(self, seed: u64) -> PinnedRng {
+        PinnedRng::from_key(seed, self.seq, self.mac_bits())
+    }
+}
+
+/// Where discrimination draws its randomness from.
+///
+/// `Shared` is the v1 contract: one seeded `StdRng` per identifier,
+/// advanced on every identification, so each answer depends on how many
+/// came before it. `Keyed` is the v2 contract: a [`PinnedRng`] built
+/// per assessment from an [`AssessKey`], so answers are
+/// order-independent. Both draw the same *shape* (one reference
+/// permutation per candidate, at most one tie-break index), only the
+/// streams differ.
+enum Draw<'a> {
+    Shared(&'a Mutex<StdRng>),
+    Keyed(PinnedRng),
+}
+
+impl Draw<'_> {
+    /// Draws `k` references without replacement from `pool`.
+    fn sample(&mut self, pool: &[usize], k: usize) -> Vec<usize> {
+        match self {
+            Draw::Shared(rng) => sample_without_replacement(pool, k, &mut *rng.lock()),
+            Draw::Keyed(rng) => rng.sample_k(pool, k),
+        }
+    }
+
+    /// Draws a tie-break index in `0..n`.
+    fn index(&mut self, n: usize) -> usize {
+        match self {
+            Draw::Shared(rng) => {
+                use rand::Rng;
+                rng.lock().gen_range(0..n)
+            }
+            Draw::Keyed(rng) => rng.index(n),
+        }
+    }
+}
 
 /// Which pipeline variant to run — the ablation axis of
 /// `fig5_accuracy --mode`.
@@ -241,15 +321,42 @@ impl Identifier {
         self.bank.type_names()
     }
 
-    /// Identifies a device from its fingerprints.
+    /// Identifies a device from its fingerprints, drawing from the
+    /// shared (order-dependent, v1) discrimination stream. Kept for
+    /// evaluation harnesses and direct service queries; every streaming
+    /// onboarding path goes through [`Identifier::identify_keyed`]
+    /// instead.
     pub fn identify(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> Identification {
+        self.identify_with(full, fixed, Draw::Shared(&self.rng))
+    }
+
+    /// Identifies a device with the v2 pinned per-completion draw: the
+    /// answer is a pure function of the trained model, the fingerprints
+    /// and `key`, so calls may run concurrently and in any order with
+    /// bit-identical results (see [`AssessKey`]).
+    pub fn identify_keyed(
+        &self,
+        full: &Fingerprint,
+        fixed: &FixedFingerprint,
+        key: AssessKey,
+    ) -> Identification {
+        self.identify_with(full, fixed, Draw::Keyed(key.rng(self.config.seed)))
+    }
+
+    /// The mode dispatch shared by both draw contracts.
+    fn identify_with(
+        &self,
+        full: &Fingerprint,
+        fixed: &FixedFingerprint,
+        mut draw: Draw,
+    ) -> Identification {
         match self.config.mode {
-            IdentifyMode::TwoStage => self.discriminate(full, self.classify(fixed)),
+            IdentifyMode::TwoStage => self.discriminate_with(full, self.classify(fixed), &mut draw),
             IdentifyMode::RfOnly => self.rf_best(fixed, self.classify(fixed)),
             IdentifyMode::EditOnly => {
                 let all: Vec<usize> = (0..self.bank.n_types()).collect();
-                let scores = self.dissimilarity_scores(full, &all);
-                self.pick_minimum(all, scores, false)
+                let scores = self.dissimilarity_scores(full, &all, &mut draw);
+                self.pick_minimum(all, scores, false, &mut draw)
             }
         }
     }
@@ -275,7 +382,10 @@ impl Identifier {
                     .iter()
                     .zip(candidates)
                     .map(|(&(full, fixed), candidates)| match self.config.mode {
-                        IdentifyMode::TwoStage => self.discriminate(full, candidates),
+                        IdentifyMode::TwoStage => {
+                            let mut draw = Draw::Shared(&self.rng);
+                            self.discriminate_with(full, candidates, &mut draw)
+                        }
                         _ => self.rf_best(fixed, candidates),
                     })
                     .collect()
@@ -284,6 +394,42 @@ impl Identifier {
             IdentifyMode::EditOnly => items
                 .iter()
                 .map(|&(full, fixed)| self.identify(full, fixed))
+                .collect(),
+        }
+    }
+
+    /// Identifies a whole batch of keyed completions — bit-identical to
+    /// calling [`Identifier::identify_keyed`] on each item, in any
+    /// order. Stage 1 runs batched (forest-major over the packed
+    /// arenas); stage 2 builds each item's pinned generator from its
+    /// [`AssessKey`], so unlike [`Identifier::identify_batch`] nothing
+    /// here depends on item order — which is what lets a sharded
+    /// streaming runtime call this concurrently on per-shard slices of
+    /// one tick's completions.
+    pub fn identify_keyed_batch(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
+    ) -> Vec<Identification> {
+        match self.config.mode {
+            IdentifyMode::TwoStage | IdentifyMode::RfOnly => {
+                let fixed: Vec<&FixedFingerprint> = items.iter().map(|&(_, f, _)| f).collect();
+                let candidates = self.classify_batch(&fixed);
+                items
+                    .iter()
+                    .zip(candidates)
+                    .map(|(&(full, fixed, key), candidates)| match self.config.mode {
+                        IdentifyMode::TwoStage => {
+                            let mut draw = Draw::Keyed(key.rng(self.config.seed));
+                            self.discriminate_with(full, candidates, &mut draw)
+                        }
+                        _ => self.rf_best(fixed, candidates),
+                    })
+                    .collect()
+            }
+            // Edit-only has no stage 1 to batch.
+            IdentifyMode::EditOnly => items
+                .iter()
+                .map(|&(full, fixed, key)| self.identify_keyed(full, fixed, key))
                 .collect(),
         }
     }
@@ -332,7 +478,12 @@ impl Identifier {
 
     /// Stage 2 of the two-stage pipeline, given the stage-1 candidate
     /// set (from [`Identifier::classify`] or a batched run).
-    fn discriminate(&self, full: &Fingerprint, candidates: Vec<usize>) -> Identification {
+    fn discriminate_with(
+        &self,
+        full: &Fingerprint,
+        candidates: Vec<usize>,
+        draw: &mut Draw,
+    ) -> Identification {
         match candidates.len() {
             0 => Identification {
                 outcome: Outcome::Unknown,
@@ -345,12 +496,12 @@ impl Identifier {
             // shares nothing with the type's references, and the score
             // is what exposes that (see `max_dissimilarity`).
             1 => {
-                let scores = self.dissimilarity_scores(full, &candidates);
-                self.pick_minimum(candidates, scores, false)
+                let scores = self.dissimilarity_scores(full, &candidates, draw);
+                self.pick_minimum(candidates, scores, false, draw)
             }
             _ => {
-                let scores = self.dissimilarity_scores(full, &candidates);
-                self.pick_minimum(candidates, scores, true)
+                let scores = self.dissimilarity_scores(full, &candidates, draw);
+                self.pick_minimum(candidates, scores, true, draw)
             }
         }
     }
@@ -398,22 +549,18 @@ impl Identifier {
     /// lower bound instead of the exact score. The winning label is
     /// unaffected — a pruned candidate can never reach the tie set —
     /// and the winner's own score is always exact.
-    fn dissimilarity_scores(&self, full: &Fingerprint, candidates: &[usize]) -> Vec<f64> {
+    fn dissimilarity_scores(
+        &self,
+        full: &Fingerprint,
+        candidates: &[usize],
+        draw: &mut Draw,
+    ) -> Vec<f64> {
         // Reference sampling stays sequential, in candidate order, so
-        // the RNG stream is identical for every thread count.
-        let chosen: Vec<Vec<usize>> = {
-            let rng = &mut *self.rng.lock();
-            candidates
-                .iter()
-                .map(|&label| {
-                    sample_without_replacement(
-                        &self.pools[label],
-                        self.config.references_per_type,
-                        rng,
-                    )
-                })
-                .collect()
-        };
+        // the draw stream is identical for every thread count.
+        let chosen: Vec<Vec<usize>> = candidates
+            .iter()
+            .map(|&label| draw.sample(&self.pools[label], self.config.references_per_type))
+            .collect();
         let probe = self.symbols.project(full);
         let threads = self.threads.min(candidates.len());
         // Fan out only when the candidate set is large enough to repay a
@@ -502,6 +649,7 @@ impl Identifier {
         candidates: Vec<usize>,
         scores: Vec<f64>,
         discriminated: bool,
+        draw: &mut Draw,
     ) -> Identification {
         let minimum = scores.iter().copied().fold(f64::INFINITY, f64::min);
         // Identical-firmware types can produce exactly tied dissimilarity
@@ -516,9 +664,7 @@ impl Identifier {
         let best = if tied.len() == 1 {
             tied[0]
         } else {
-            use rand::Rng;
-            let rng = &mut *self.rng.lock();
-            tied[rng.gen_range(0..tied.len())]
+            tied[draw.index(tied.len())]
         };
         // Even the best candidate must actually resemble its own
         // references: a winner whose mean normalized distance exceeds

@@ -50,7 +50,7 @@ pub mod vulndb;
 pub use bank::{BankConfig, ClassifierBank};
 pub use dataset::FingerprintDataset;
 pub use gateway::{GatewayConfig, SecurityGateway};
-pub use identify::{Identifier, IdentifierConfig, IdentifyMode, TrainedModel};
+pub use identify::{AssessKey, Identifier, IdentifierConfig, IdentifyMode, TrainedModel};
 pub use migration::{
     migrate, LegacyDevice, MigrationOutcome, MigrationRecord, PskPolicy, RekeySupport,
 };
@@ -65,7 +65,7 @@ pub mod prelude {
     pub use crate::report::{Identification, OnboardingReport, Outcome, ServiceResponse};
     pub use crate::vulndb::{CveRecord, StaticVulnDb, VulnerabilityDatabase};
     pub use crate::{
-        BankConfig, ClassifierBank, FingerprintDataset, GatewayConfig, Identifier,
+        AssessKey, BankConfig, ClassifierBank, FingerprintDataset, GatewayConfig, Identifier,
         IdentifierConfig, IdentifyMode, IoTSecurityService, SecurityGateway, SecurityService,
         ServiceConfig,
     };

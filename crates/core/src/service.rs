@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
 
+use crate::identify::AssessKey;
 use crate::report::{Outcome, ServiceResponse};
 use crate::vulndb::{StaticVulnDb, VulnerabilityDatabase};
 use crate::{FingerprintDataset, Identifier, IdentifierConfig};
@@ -38,6 +39,45 @@ pub trait SecurityService {
             .map(|&(full, fixed)| self.assess(full, fixed))
             .collect()
     }
+
+    /// Assesses one fingerprint under the v2 pinned RNG contract: every
+    /// random decision is drawn from a generator keyed by `key`, so the
+    /// response is a pure function of `(trained state, fingerprints,
+    /// key)` — independent of call order, interleaving, or which thread
+    /// serves it. This is what lets a sharded streaming runtime assess
+    /// completions concurrently and still produce bit-identical output
+    /// at every thread count.
+    ///
+    /// The default delegates to [`SecurityService::assess`], which is
+    /// only correct for services whose `assess` is already a pure
+    /// function of its arguments (stateless stubs). Services with
+    /// order-dependent internal state (like the reference IoTSSP's
+    /// shared v1 discrimination RNG) must override this with a genuinely
+    /// keyed path.
+    fn assess_keyed(
+        &self,
+        full: &Fingerprint,
+        fixed: &FixedFingerprint,
+        key: AssessKey,
+    ) -> ServiceResponse {
+        let _ = key;
+        self.assess(full, fixed)
+    }
+
+    /// Keyed batch assessment: one response per item, each observably
+    /// equivalent to [`SecurityService::assess_keyed`] with that item's
+    /// key. Because every item carries its own key, the batch boundary
+    /// carries no information — splitting a batch across shards must not
+    /// change any response.
+    fn assess_keyed_batch(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
+    ) -> Vec<ServiceResponse> {
+        items
+            .iter()
+            .map(|&(full, fixed, key)| self.assess_keyed(full, fixed, key))
+            .collect()
+    }
 }
 
 /// One trained service can back several gateways (or a gateway and a
@@ -49,6 +89,22 @@ impl<S: SecurityService + ?Sized> SecurityService for &S {
 
     fn assess_batch(&self, items: &[(&Fingerprint, &FixedFingerprint)]) -> Vec<ServiceResponse> {
         (**self).assess_batch(items)
+    }
+
+    fn assess_keyed(
+        &self,
+        full: &Fingerprint,
+        fixed: &FixedFingerprint,
+        key: AssessKey,
+    ) -> ServiceResponse {
+        (**self).assess_keyed(full, fixed, key)
+    }
+
+    fn assess_keyed_batch(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
+    ) -> Vec<ServiceResponse> {
+        (**self).assess_keyed_batch(items)
     }
 }
 
@@ -154,6 +210,34 @@ impl SecurityService for IoTSecurityService {
     fn assess_batch(&self, items: &[(&Fingerprint, &FixedFingerprint)]) -> Vec<ServiceResponse> {
         self.identifier
             .identify_batch(items)
+            .into_iter()
+            .map(|identification| self.respond(identification))
+            .collect()
+    }
+
+    /// Keyed assessment under the v2 pinned RNG contract
+    /// ([`Identifier::identify_keyed`]): the shared v1 discrimination
+    /// RNG is bypassed entirely, so concurrent callers neither contend
+    /// on it nor perturb each other's draws.
+    fn assess_keyed(
+        &self,
+        full: &Fingerprint,
+        fixed: &FixedFingerprint,
+        key: AssessKey,
+    ) -> ServiceResponse {
+        self.respond(self.identifier.identify_keyed(full, fixed, key))
+    }
+
+    /// Keyed batched assessment: stage-1 runs forest-major over the
+    /// whole batch, stage-2 draws from each item's own keyed generator —
+    /// bit-identical to per-item [`Self::assess_keyed`] calls at any
+    /// batch split.
+    fn assess_keyed_batch(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
+    ) -> Vec<ServiceResponse> {
+        self.identifier
+            .identify_keyed_batch(items)
             .into_iter()
             .map(|identification| self.respond(identification))
             .collect()

@@ -18,6 +18,8 @@
 //! * [`parallel`] — deterministic fork/join helpers (ordered merges,
 //!   `SENTINEL_THREADS` thread-count resolution).
 //! * [`sampling`] — bootstrap and without-replacement sampling.
+//! * [`pinned`] — the v2 pinned RNG contract: keyed, order-independent
+//!   draws for decisions that must not depend on scheduling.
 //!
 //! Everything is deterministic given a seed, so experiments reproduce
 //! bit-for-bit.
@@ -48,6 +50,7 @@ mod forest;
 pub mod metrics;
 pub mod packed;
 pub mod parallel;
+pub mod pinned;
 pub mod sampling;
 mod tree;
 
@@ -55,4 +58,5 @@ pub use binning::BinnedDataset;
 pub use data::Dataset;
 pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
 pub use packed::PackedForest;
+pub use pinned::PinnedRng;
 pub use tree::{DecisionTree, FitArena, TreeConfig};

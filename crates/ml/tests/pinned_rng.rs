@@ -1,0 +1,132 @@
+//! The v2 pinned RNG contract (`sentinel_ml::pinned`): a checked-in
+//! reference stream freezes the exact outputs, and property tests pin
+//! the algorithmic shape (draw counts, ranges, sampling order).
+//!
+//! If `reference_stream_is_pinned` fails, the generator's semantics
+//! changed: every decision keyed through [`PinnedRng`] (streaming
+//! assessment, discrimination tie-breaks) changes with it. That is a
+//! deliberate contract break — update `data/pinned_rng_v2.txt` with the
+//! printed actual text and say so in the changelog.
+
+use proptest::prelude::*;
+
+use sentinel_ml::pinned::PinnedRng;
+
+/// Renders the canonical reference stream: for each probe key, eight
+/// raw draws, five bounded draws and one 4-of-12 sample, all from a
+/// freshly keyed generator per line.
+fn render_reference_stream() -> String {
+    let keys: [(u64, u64, u64); 6] = [
+        (0, 0, 0),
+        (0, 0, 1),
+        (0, 1, 0),
+        (42, 0, 0x0a1b_2c3d_4e5f),
+        (42, 7, 0x0a1b_2c3d_4e5f),
+        (0xdead_beef, u64::MAX, u64::MAX),
+    ];
+    let mut out = String::from(
+        "# pinned RNG contract v2 reference stream\n\
+         # line format: seed/key_hi/key_lo | next_u64 x8 | next_below(10,100,7,1000,3) | sample_k(0..12, 4)\n",
+    );
+    for (seed, hi, lo) in keys {
+        let mut rng = PinnedRng::from_key(seed, hi, lo);
+        let raw: Vec<String> = (0..8).map(|_| format!("{:016x}", rng.next_u64())).collect();
+        let mut rng = PinnedRng::from_key(seed, hi, lo);
+        let below: Vec<String> = [10u64, 100, 7, 1000, 3]
+            .iter()
+            .map(|&n| rng.next_below(n).to_string())
+            .collect();
+        let mut rng = PinnedRng::from_key(seed, hi, lo);
+        let pool: Vec<usize> = (0..12).collect();
+        let sample: Vec<String> = rng
+            .sample_k(&pool, 4)
+            .iter()
+            .map(usize::to_string)
+            .collect();
+        out.push_str(&format!(
+            "{seed}/{hi}/{lo} | {} | {} | {}\n",
+            raw.join(" "),
+            below.join(" "),
+            sample.join(" ")
+        ));
+    }
+    out
+}
+
+#[test]
+fn reference_stream_is_pinned() {
+    let expected = include_str!("data/pinned_rng_v2.txt");
+    let actual = render_reference_stream();
+    assert_eq!(
+        actual, expected,
+        "the pinned RNG contract changed; if intentional, re-pin \
+         data/pinned_rng_v2.txt to this actual stream:\n{actual}"
+    );
+}
+
+/// Naive restatement of the pinned sampling algorithm, kept independent
+/// of the implementation: partial Fisher–Yates, one bounded draw per
+/// selected slot.
+fn naive_sample(seed: u64, hi: u64, lo: u64, n: usize, k: usize) -> Vec<usize> {
+    let mut rng = PinnedRng::from_key(seed, hi, lo);
+    let mut items: Vec<usize> = (0..n).collect();
+    let k = k.min(n);
+    for i in 0..k {
+        let j = i + rng.index(n - i);
+        items.swap(i, j);
+    }
+    items.truncate(k);
+    items
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The stream is a pure function of `(seed, key)`: rebuilding the
+    /// generator replays it exactly, and draws never depend on what any
+    /// other generator did.
+    #[test]
+    fn keyed_streams_replay_exactly(seed in any::<u64>(), hi in any::<u64>(), lo in any::<u64>()) {
+        let mut first = PinnedRng::from_key(seed, hi, lo);
+        // An unrelated generator draws in between: no shared state.
+        let mut noise = PinnedRng::from_key(seed ^ 1, hi, lo);
+        let a: Vec<u64> = (0..16).map(|_| first.next_u64()).collect();
+        let _ = noise.next_u64();
+        let mut second = PinnedRng::from_key(seed, hi, lo);
+        let b: Vec<u64> = (0..16).map(|_| second.next_u64()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_range(seed in any::<u64>(), hi in any::<u64>(), lo in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = PinnedRng::from_key(seed, hi, lo);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(n) < n);
+        }
+    }
+
+    /// `sample_k` is the pinned partial Fisher–Yates: it matches the
+    /// naive restatement draw for draw, returns distinct in-range
+    /// elements, and consumes exactly `min(k, n)` draws.
+    #[test]
+    fn sample_k_is_the_pinned_partial_fisher_yates(
+        seed in any::<u64>(), hi in any::<u64>(), lo in any::<u64>(),
+        n in 1usize..64, k in 0usize..80,
+    ) {
+        let pool: Vec<usize> = (0..n).collect();
+        let mut rng = PinnedRng::from_key(seed, hi, lo);
+        let sample = rng.sample_k(&pool, k);
+        prop_assert_eq!(&sample, &naive_sample(seed, hi, lo, n, k));
+        let took = k.min(n);
+        prop_assert_eq!(sample.len(), took);
+        let distinct: std::collections::HashSet<_> = sample.iter().collect();
+        prop_assert_eq!(distinct.len(), took);
+        prop_assert!(sample.iter().all(|&i| i < n));
+        // Draw accounting: the sampler's end state equals `took` raw draws.
+        let mut counter = PinnedRng::from_key(seed, hi, lo);
+        for _ in 0..took {
+            counter.next_u64();
+        }
+        prop_assert_eq!(rng, counter);
+    }
+}

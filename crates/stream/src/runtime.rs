@@ -17,12 +17,29 @@
 //! so every decision (fingerprint, identification, isolation level,
 //! eviction choice) is bit-identical at any `SENTINEL_THREADS` setting
 //! and for any ingest batch size.
+//!
+//! # Shard-end-to-end assessment
+//!
+//! Shards do not stop at fingerprinting: each shard *assesses* its own
+//! completions inside the parallel pass — batched stage-1
+//! classification over the packed arenas plus stage-2 edit-distance
+//! discrimination — through [`SecurityService::assess_keyed_batch`].
+//! That is sound because keyed assessment is a pure function of
+//! `(trained model, fingerprints, key)` under the v2 pinned RNG
+//! contract ([`sentinel_core::AssessKey`]): every random draw comes
+//! from a generator keyed by `(seq, mac)`, so no shard's answers
+//! depend on what any other shard (or thread) is doing. Only the
+//! serial tail remains after the join: merging per-shard stats,
+//! sorting assessed completions into `(seq, mac)` stream order, and
+//! installing enforcement rules / emitting reports — work that mutates
+//! the shared SDN module and must stay ordered, but is trivially cheap
+//! next to classification.
 
 use std::collections::{HashMap, HashSet};
 
 use parking_lot::Mutex;
 
-use sentinel_core::{OnboardingReport, Outcome, SecurityService};
+use sentinel_core::{AssessKey, OnboardingReport, Outcome, SecurityService, ServiceResponse};
 use sentinel_fingerprint::setup::SetupDetector;
 use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
 use sentinel_ml::parallel::{effective_threads, map_indexed};
@@ -96,14 +113,16 @@ struct Shard {
     onboarded: HashSet<MacAddr>,
 }
 
-/// A finished setup phase, queued for in-order assessment and
+/// A finished setup phase, assessed in-shard and queued for in-order
 /// enforcement.
 ///
-/// Shards only *finalize* sessions (pure fingerprint work); consulting
-/// the security service happens later, in global stream order, because
-/// a real IoTSSP is stateful (its discrimination stage samples reference
-/// fingerprints from a seeded RNG) and its answers must not depend on
-/// shard scheduling.
+/// The `(seq, mac)` pair is both the deterministic merge key and the
+/// assessment key: keyed assessment ([`AssessKey`]) makes the service's
+/// answer a pure function of the trained model, the fingerprints and
+/// this key, so shards can consult the service concurrently without the
+/// answers depending on shard scheduling. Only enforcement-rule
+/// installation and report emission still happen serially, in `(seq,
+/// mac)` order, after the parallel pass joins.
 struct Completion {
     /// Stream sequence of the packet that closed the session (for gap
     /// and cap completions) or of its last absorbed packet (flush).
@@ -119,6 +138,9 @@ struct Completion {
 #[derive(Default)]
 struct ShardOutcome {
     completions: Vec<Completion>,
+    /// Keyed service responses, aligned one-to-one with `completions`
+    /// (filled by the shard's in-parallel assessment pass).
+    responses: Vec<ServiceResponse>,
     /// Items that counted as stream input: everything the shard saw
     /// except frames the wire scanner rejected — so
     /// [`StreamStats::packets_in`] agrees between the packet and frame
@@ -272,6 +294,22 @@ fn complete(mac: MacAddr, seq: u64, session: Session, reason: CompletionReason) 
     }
 }
 
+/// Keyed assessment of one shard's completions, run *inside* the
+/// parallel shard pass: stage-1 is batched forest-major over the
+/// shard's whole tick, stage-2 draws from each completion's own
+/// `(seq, mac)`-keyed generator. Pure per item (v2 pinned RNG
+/// contract), so concurrent shards cannot perturb each other.
+fn assess_completions<S: SecurityService>(
+    service: &S,
+    completions: &[Completion],
+) -> Vec<ServiceResponse> {
+    let items: Vec<(&Fingerprint, &FixedFingerprint, AssessKey)> = completions
+        .iter()
+        .map(|c| (&c.full, &c.fixed, AssessKey::new(c.seq, c.mac)))
+        .collect();
+    service.assess_keyed_batch(&items)
+}
+
 /// FNV-1a shard assignment: fixed, hasher-independent, so shard
 /// membership never varies across runs, platforms or thread counts.
 fn shard_of(mac: MacAddr, shards: usize) -> usize {
@@ -302,7 +340,7 @@ pub struct StreamRuntime<S> {
     shard_ids: Vec<u32>,
 }
 
-impl<S: SecurityService> StreamRuntime<S> {
+impl<S: SecurityService + Sync> StreamRuntime<S> {
     /// Creates a runtime backed by `service` with default configuration.
     pub fn new(service: S) -> Self {
         Self::with_config(service, StreamConfig::default())
@@ -398,17 +436,59 @@ impl<S: SecurityService> StreamRuntime<S> {
     /// [`StreamStats::packets_in`], so frame-path stats agree with the
     /// packet path on equivalent traffic.
     pub fn ingest_frames(&mut self, frames: &[(Timestamp, Vec<u8>)]) -> Vec<OnboardingReport> {
+        self.bucket(frames.iter().map(|(_, frame)| {
+            (frame.len() >= 14)
+                .then(|| MacAddr::new(frame[6..12].try_into().expect("checked length")))
+        }));
         let shard_count = self.shards.len();
-        // Tight FNV pre-pass: one cache-friendly sweep computes every
-        // frame's shard before any bucket is touched.
+        let threads = effective_threads(self.config.threads);
+        let outcomes = {
+            let shards = &self.shards;
+            let config = &self.config;
+            let buckets = &self.buckets;
+            let service = &self.service;
+            map_indexed(shard_count, threads, |s| {
+                let mut outcome = shards[s].lock().process_frames(&buckets[s], frames, config);
+                outcome.responses = assess_completions(service, &outcome.completions);
+                outcome
+            })
+        };
+        self.absorb(outcomes, true)
+    }
+
+    /// Ingests one batch of interleaved packets, returning the devices
+    /// whose setup phase completed inside it (in stream order).
+    pub fn ingest(&mut self, packets: &[Packet]) -> Vec<OnboardingReport> {
+        self.bucket(packets.iter().map(|p| Some(p.src_mac())));
+        let shard_count = self.shards.len();
+        let threads = effective_threads(self.config.threads);
+        let outcomes = {
+            let shards = &self.shards;
+            let config = &self.config;
+            let buckets = &self.buckets;
+            let service = &self.service;
+            map_indexed(shard_count, threads, |s| {
+                let mut outcome = shards[s].lock().process(&buckets[s], packets, config);
+                outcome.responses = assess_completions(service, &outcome.completions);
+                outcome
+            })
+        };
+        self.absorb(outcomes, true)
+    }
+
+    /// The shared shard-assignment pre-pass behind both ingest paths:
+    /// one tight, cache-friendly FNV sweep computes every item's shard
+    /// before any bucket is touched, then refills the per-shard
+    /// `(stream seq, batch index)` buckets in stream order. `None`
+    /// items (frames too short to carry an Ethernet header) are counted
+    /// malformed and consume no sequence number, keeping frame-path
+    /// stats and assessment keys aligned with the packet path.
+    fn bucket(&mut self, macs: impl Iterator<Item = Option<MacAddr>>) {
+        let shard_count = self.shards.len();
         self.shard_ids.clear();
-        self.shard_ids.extend(frames.iter().map(|(_, frame)| {
-            if frame.len() < 14 {
-                u32::MAX
-            } else {
-                let mac = MacAddr::new(frame[6..12].try_into().expect("checked length"));
-                shard_of(mac, shard_count) as u32
-            }
+        self.shard_ids.extend(macs.map(|mac| match mac {
+            Some(mac) => shard_of(mac, shard_count) as u32,
+            None => u32::MAX,
         }));
         for bucket in &mut self.buckets {
             bucket.clear();
@@ -423,45 +503,6 @@ impl<S: SecurityService> StreamRuntime<S> {
             seq += 1;
         }
         self.next_seq = seq;
-        let threads = effective_threads(self.config.threads);
-        let outcomes = {
-            let shards = &self.shards;
-            let config = &self.config;
-            let buckets = &self.buckets;
-            map_indexed(shard_count, threads, |s| {
-                shards[s].lock().process_frames(&buckets[s], frames, config)
-            })
-        };
-        self.absorb(outcomes, true)
-    }
-
-    /// Ingests one batch of interleaved packets, returning the devices
-    /// whose setup phase completed inside it (in stream order).
-    pub fn ingest(&mut self, packets: &[Packet]) -> Vec<OnboardingReport> {
-        let shard_count = self.shards.len();
-        self.shard_ids.clear();
-        self.shard_ids.extend(
-            packets
-                .iter()
-                .map(|p| shard_of(p.src_mac(), shard_count) as u32),
-        );
-        for bucket in &mut self.buckets {
-            bucket.clear();
-        }
-        for (i, &shard) in self.shard_ids.iter().enumerate() {
-            self.buckets[shard as usize].push((self.next_seq + i as u64, i as u32));
-        }
-        self.next_seq += packets.len() as u64;
-        let threads = effective_threads(self.config.threads);
-        let outcomes = {
-            let shards = &self.shards;
-            let config = &self.config;
-            let buckets = &self.buckets;
-            map_indexed(shard_count, threads, |s| {
-                shards[s].lock().process(&buckets[s], packets, config)
-            })
-        };
-        self.absorb(outcomes, true)
     }
 
     /// Finalizes every in-flight session (end of stream), in the order
@@ -471,26 +512,31 @@ impl<S: SecurityService> StreamRuntime<S> {
         let threads = effective_threads(self.config.threads);
         let outcomes = {
             let shards = &self.shards;
-            map_indexed(shard_count, threads, |s| shards[s].lock().flush())
+            let service = &self.service;
+            map_indexed(shard_count, threads, |s| {
+                let mut outcome = shards[s].lock().flush();
+                outcome.responses = assess_completions(service, &outcome.completions);
+                outcome
+            })
         };
         self.absorb(outcomes, false)
     }
 
-    /// Merges per-shard outcomes in deterministic stream order, then
-    /// assesses and enforces each completed device — in exactly the
-    /// order a sequential batch gateway consuming the same interleaved
-    /// stream would, so even a *stateful* service (the real IoTSSP's
-    /// discrimination RNG advances per assessment) answers identically
-    /// at every thread count.
+    /// The serial tail of an ingest round: merges per-shard stats,
+    /// sorts the already-assessed completions into deterministic
+    /// `(seq, mac)` stream order, and installs each device's
+    /// enforcement rule.
     ///
-    /// Assessment goes through [`SecurityService::assess_batch`] on the
-    /// already-sorted completions: the RNG-free stage-1 classification of
-    /// the whole tick is batched (forest-major over the packed arenas),
-    /// while discrimination and enforcement still run per item in
-    /// `(seq, mac)` order — results bit-identical to per-item `assess`.
+    /// Assessment already happened *inside* the parallel shard pass
+    /// ([`assess_completions`]); because every response was drawn under
+    /// the v2 keyed RNG contract, sorting the `(completion, response)`
+    /// pairs afterwards yields exactly what a sequential gateway
+    /// consuming the same interleaved stream would produce, at every
+    /// thread count. Only rule installation and report emission — which
+    /// mutate the shared SDN module — remain ordered and serial.
     fn absorb(&mut self, outcomes: Vec<ShardOutcome>, track_peak: bool) -> Vec<OnboardingReport> {
         let mut resident = 0usize;
-        let mut completions = Vec::new();
+        let mut assessed: Vec<(Completion, ServiceResponse)> = Vec::new();
         for outcome in outcomes {
             self.stats.packets_in += outcome.packets;
             self.stats.sessions_opened += outcome.opened;
@@ -498,32 +544,23 @@ impl<S: SecurityService> StreamRuntime<S> {
             self.stats.packets_ignored += outcome.ignored;
             self.stats.frames_malformed += outcome.malformed;
             resident += outcome.resident;
-            completions.extend(outcome.completions);
+            debug_assert_eq!(outcome.completions.len(), outcome.responses.len());
+            assessed.extend(outcome.completions.into_iter().zip(outcome.responses));
         }
         if track_peak {
             self.stats.peak_resident_sessions = self.stats.peak_resident_sessions.max(resident);
         }
-        completions.sort_by_key(|c| (c.seq, c.mac));
-        let responses = {
-            let items: Vec<(&Fingerprint, &FixedFingerprint)> =
-                completions.iter().map(|c| (&c.full, &c.fixed)).collect();
-            self.service.assess_batch(&items)
-        };
-        completions
+        assessed.sort_by_key(|(c, _)| (c.seq, c.mac));
+        assessed
             .into_iter()
-            .zip(responses)
             .map(|(completion, response)| self.onboard(completion, response))
             .collect()
     }
 
     /// Installs one assessed device's enforcement rule and records its
-    /// report — the gateway's finalize path (the assessment itself comes
-    /// batched from [`StreamRuntime::absorb`]).
-    fn onboard(
-        &mut self,
-        completion: Completion,
-        response: sentinel_core::ServiceResponse,
-    ) -> OnboardingReport {
+    /// report — the gateway's finalize path (the assessment itself
+    /// already ran in-shard during the parallel pass).
+    fn onboard(&mut self, completion: Completion, response: ServiceResponse) -> OnboardingReport {
         self.stats.record_completion(completion.reason);
         match response.identification.outcome {
             Outcome::Identified { .. } => self.stats.identified += 1,

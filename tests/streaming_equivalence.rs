@@ -3,18 +3,28 @@
 //! batch `SecurityGateway` reaches — bit-identical against a sequential
 //! gateway consuming the same stream, and decision-identical against
 //! gateways onboarding each device's trace alone — at thread counts
-//! 1, 2 and 8.
+//! 1, 2, 4 and 8, over both the packet and raw-frame ingest paths.
+//!
+//! Under the v2 pinned RNG contract every assessment is keyed by
+//! `(seq, mac)`, so one *shared, stateful* service instance must answer
+//! bit-identically no matter how many runtimes (or threads) consult it;
+//! a proptest pins that per-completion contract at the service level.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Duration;
 
+use proptest::prelude::*;
+
 use iot_sentinel::core::{
-    BankConfig, FingerprintDataset, Identifier, IdentifierConfig, IoTSecurityService,
-    OnboardingReport, SecurityGateway, ServiceConfig, TrainedModel,
+    AssessKey, BankConfig, FingerprintDataset, Identifier, IdentifierConfig, IoTSecurityService,
+    OnboardingReport, SecurityGateway, SecurityService, ServiceConfig, ServiceResponse,
+    TrainedModel,
 };
 use iot_sentinel::devicesim::{catalog, interleave, SetupTrace, Testbed};
-use iot_sentinel::ml::ForestConfig;
-use iot_sentinel::netproto::stream::MemorySource;
+use iot_sentinel::fingerprint::{extract, Fingerprint, FixedFingerprint};
+use iot_sentinel::ml::{ForestConfig, PinnedRng};
+use iot_sentinel::netproto::stream::{MemoryFrameSource, MemorySource};
 use iot_sentinel::netproto::{MacAddr, Packet};
 use iot_sentinel::sdn::IsolationLevel;
 use iot_sentinel::stream::{StreamConfig, StreamRuntime};
@@ -42,9 +52,11 @@ fn trained_model(train_runs: u64) -> TrainedModel {
     TrainedModel::from(&Identifier::train(&dataset, &config.identifier))
 }
 
-/// Reassembles the snapshot into a service whose discrimination RNG
-/// restarts from the configured seed — so two runs over the same model
-/// draw identical reference permutations and score bit-identically.
+/// Reassembles the snapshot into an independent service instance. Under
+/// the v2 keyed contract the streaming/gateway paths never touch the
+/// shared v1 discrimination RNG, so two instances of the same model are
+/// interchangeable — the separate instances here just mirror the
+/// deployment shape (one IoTSSP per site).
 fn fresh_service(model: &TrainedModel) -> IoTSecurityService {
     IoTSecurityService::from_identifier(Identifier::from(model.clone()))
 }
@@ -110,9 +122,9 @@ fn interleaved_stream_is_bit_identical_to_a_sequential_gateway() {
             .run(MemorySource::new(stream.clone()))
             .expect("in-memory source cannot fail");
         // Same reports, same decision order, bit for bit — scores
-        // included. (The shared service's discrimination RNG advances
-        // per assessment, so full equality also proves the runtime
-        // assesses completions in exactly the gateway's order.)
+        // included. (Under the v2 contract both sides key every draw by
+        // `(seq, mac)`, so full equality also proves the runtime and
+        // the gateway assign identical stream sequence numbers.)
         assert_eq!(
             reports, baseline,
             "streamed reports diverged from the sequential gateway at {threads} threads"
@@ -239,4 +251,131 @@ fn streaming_identifies_and_isolates_like_the_paper() {
         .filter_map(|t| runtime.report(t.mac))
         .any(|r| r.response.isolation != IsolationLevel::Trusted);
     assert!(isolated);
+}
+
+#[test]
+fn one_stateful_service_is_bit_identical_across_threads_and_paths() {
+    // The strongest form of the v2 contract: ONE service instance —
+    // carrying its (now bypassed) v1 RNG state and serving every run in
+    // sequence — must produce bit-identical reports AND stats at thread
+    // counts 1/2/4/8 and over both the decoded-packet and raw-frame
+    // ingest paths. Under the v1 contract this was impossible: each
+    // assessment advanced the shared RNG, so merely *running twice*
+    // changed the answers.
+    let model = trained_model(8);
+    let service = fresh_service(&model);
+    let traces = concurrent_traces(24);
+    let stream = interleave(&traces, Duration::from_millis(9));
+
+    let mut baseline: Option<(Vec<OnboardingReport>, iot_sentinel::stream::StreamStats)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let config = StreamConfig {
+            threads,
+            ..StreamConfig::default()
+        };
+        let mut packets = StreamRuntime::with_config(&service, config.clone());
+        let packet_reports = packets
+            .run(MemorySource::new(stream.clone()))
+            .expect("in-memory source cannot fail");
+        let mut frames = StreamRuntime::with_config(&service, config);
+        let frame_reports = frames
+            .run_frames(MemoryFrameSource::from_packets(&stream))
+            .expect("in-memory source cannot fail");
+        assert_eq!(
+            frame_reports, packet_reports,
+            "frame path diverged from packet path at {threads} threads"
+        );
+        assert_eq!(
+            frames.stats(),
+            packets.stats(),
+            "frame stats diverged at {threads} threads"
+        );
+        match &baseline {
+            None => baseline = Some((packet_reports, packets.stats().clone())),
+            Some((reports, stats)) => {
+                assert_eq!(
+                    &packet_reports, reports,
+                    "reports diverged at {threads} threads"
+                );
+                assert_eq!(
+                    packets.stats(),
+                    stats,
+                    "stats diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// Probe items for the keyed-assessment proptest: a trained service
+/// plus `(fingerprint, key)` pairs and their individually assessed
+/// baseline responses. Built once — training dominates the test's cost.
+struct KeyedProbes {
+    service: IoTSecurityService,
+    probes: Vec<(Fingerprint, FixedFingerprint, AssessKey)>,
+    baseline: Vec<ServiceResponse>,
+}
+
+fn keyed_probes() -> &'static KeyedProbes {
+    static PROBES: OnceLock<KeyedProbes> = OnceLock::new();
+    PROBES.get_or_init(|| {
+        let service = fresh_service(&trained_model(8));
+        let traces = concurrent_traces(6);
+        let probes: Vec<(Fingerprint, FixedFingerprint, AssessKey)> = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                let full = extract(&trace.packets);
+                let fixed = FixedFingerprint::from_fingerprint(&full);
+                (full, fixed, AssessKey::new(1000 + 17 * i as u64, trace.mac))
+            })
+            .collect();
+        let baseline = probes
+            .iter()
+            .map(|(full, fixed, key)| service.assess_keyed(full, fixed, *key))
+            .collect();
+        KeyedProbes {
+            service,
+            probes,
+            baseline,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The per-completion contract: a keyed assessment is a pure
+    /// function of `(trained model, fingerprints, key)`. Whatever order
+    /// the probes are assessed in, however they are split into batches,
+    /// and however often they are re-assessed, every response equals the
+    /// itemwise baseline bit for bit — which is exactly what lets the
+    /// streaming shards assess concurrently.
+    #[test]
+    fn keyed_assessment_is_schedule_independent(order_seed in any::<u64>(), split_seed in any::<u64>()) {
+        let fixture = keyed_probes();
+        let n = fixture.probes.len();
+        let indices: Vec<usize> = (0..n).collect();
+        let order = PinnedRng::from_key(order_seed, 0, 0).sample_k(&indices, n);
+        let split = PinnedRng::from_key(split_seed, 1, 0).index(n + 1);
+        let items: Vec<(&Fingerprint, &FixedFingerprint, AssessKey)> = order
+            .iter()
+            .map(|&i| {
+                let (full, fixed, key) = &fixture.probes[i];
+                (full, fixed, *key)
+            })
+            .collect();
+        let mut responses = fixture.service.assess_keyed_batch(&items[..split]);
+        responses.extend(fixture.service.assess_keyed_batch(&items[split..]));
+        for (&i, response) in order.iter().zip(&responses) {
+            prop_assert_eq!(
+                response,
+                &fixture.baseline[i],
+                "probe {} diverged under order {:?} split {}",
+                i,
+                &order,
+                split
+            );
+        }
+    }
 }
