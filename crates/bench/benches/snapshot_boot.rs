@@ -1,0 +1,107 @@
+//! Instant boot from a snapshot vs. retraining from scratch.
+//!
+//! The deployment question the snapshot subsystem answers: a fleet of
+//! gateways booting the same model should pay training once, centrally,
+//! and restore everywhere else. This bench trains the paper-shaped
+//! pipeline (27 types, default bank) once, captures it as a version-1
+//! binary snapshot, then measures
+//!
+//! * `retrain`   — `ClassifierBank::train` from the fingerprint corpus
+//!   (the cost a gateway pays without a snapshot; stage-2 reference
+//!   sampling and interning come on top of this), and
+//! * `load`      — `IoTSecurityService::from_snapshot`: read the file,
+//!   verify every section checksum, decode, and reassemble the full
+//!   service (packed forests, interned references, scoring pools).
+//!
+//! Results (mean wall-clock of each, snapshot byte size, and the
+//! boot speedup) are recorded in `results/bench_snapshot.json` via the
+//! shared results writer. Override the output path with
+//! `SNAPSHOT_BENCH_JSON`, iteration count with `SNAPSHOT_BENCH_ITERS`.
+
+use std::time::Instant;
+
+use sentinel_bench::results::JsonMap;
+use sentinel_core::{
+    BankConfig, ClassifierBank, FingerprintDataset, Identifier, IdentifierConfig,
+    IoTSecurityService,
+};
+use sentinel_devicesim::catalog;
+use sentinel_snapshot::{Snapshot, SnapshotBoot};
+
+fn mean_ms(iterations: u64, mut work: impl FnMut()) -> f64 {
+    // One warm-up pass (page in the file / corpus), then timed passes.
+    work();
+    let start = Instant::now();
+    for _ in 0..iterations {
+        work();
+    }
+    start.elapsed().as_secs_f64() * 1e3 / iterations as f64
+}
+
+fn main() {
+    let iterations: u64 = std::env::var("SNAPSHOT_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    // `cargo bench` runs with the package dir as cwd; anchor the default
+    // at the workspace root so the artifact lands next to the others.
+    let json_path = std::env::var("SNAPSHOT_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/bench_snapshot.json"
+        )
+        .to_owned()
+    });
+    let train_runs = 10;
+    let seed = 21;
+
+    println!("training the paper-shaped pipeline once ({train_runs} runs/type, seed {seed})…");
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, train_runs, seed);
+    let identifier = Identifier::train(&dataset, &IdentifierConfig::default());
+    let service = IoTSecurityService::from_identifier(identifier);
+
+    let path = std::env::temp_dir().join(format!("sentinel-bench-{}.snap", std::process::id()));
+    let snapshot = Snapshot::of_service(&service);
+    snapshot.save(&path).expect("snapshot save");
+    let snapshot_bytes = std::fs::metadata(&path).expect("snapshot metadata").len();
+
+    let retrain_ms = mean_ms(iterations, || {
+        std::hint::black_box(ClassifierBank::train(&dataset, &BankConfig::default()));
+    });
+    let load_ms = mean_ms(iterations, || {
+        std::hint::black_box(IoTSecurityService::from_snapshot(&path).expect("snapshot load"));
+    });
+    std::fs::remove_file(&path).ok();
+
+    let speedup = retrain_ms / load_ms;
+    println!("snapshot size       {snapshot_bytes} bytes");
+    println!("retrain (bank)      {retrain_ms:.2} ms/iter over {iterations} iters");
+    println!("load + reassemble   {load_ms:.2} ms/iter over {iterations} iters");
+    println!("boot speedup        {speedup:.1}x");
+    if speedup < 10.0 {
+        println!("WARNING: boot speedup below the 10x target");
+    }
+
+    let json = JsonMap::new()
+        .string("bench", "snapshot_boot")
+        .int("train_runs", train_runs)
+        .int("seed", seed)
+        .int("iterations", iterations)
+        .int("snapshot_bytes", snapshot_bytes)
+        .nested(
+            "retrain",
+            JsonMap::new()
+                .float("mean_ms", retrain_ms)
+                .string("note", "ClassifierBank::train over the full corpus"),
+        )
+        .nested(
+            "load",
+            JsonMap::new().float("mean_ms", load_ms).string(
+                "note",
+                "IoTSecurityService::from_snapshot: read, verify checksums, decode, reassemble",
+            ),
+        )
+        .float("boot_speedup", speedup);
+    sentinel_bench::results::write_map(&json_path, &json);
+}

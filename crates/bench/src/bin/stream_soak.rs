@@ -173,7 +173,6 @@ fn main() {
             stats.peak_resident_sessions,
             stats.sessions_evicted,
         );
-        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
-        println!("\nBENCH JSON written to {path}");
+        sentinel_bench::results::write_json(path, &json);
     }
 }

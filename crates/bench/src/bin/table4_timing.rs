@@ -126,8 +126,7 @@ fn main() {
              \"training_baseline_pr4\": {{\n{baseline}\n  }}\n}}\n",
             report.discrimination_rate, report.mean_edit_distances
         );
-        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
-        println!("\nBENCH JSON written to {path}");
+        sentinel_bench::results::write_json(path, &json);
     }
 
     println!(

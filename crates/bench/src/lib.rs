@@ -12,6 +12,8 @@
 //! * [`enforcement`] — the gateway latency/CPU/memory experiments
 //!   (Tables V–VI, Fig. 6).
 //! * [`tables`] — plain-text table rendering shared by the binaries.
+//! * [`results`] — the shared bench-results JSON writer every target
+//!   records its `results/*.json` artifacts through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,5 +21,6 @@
 pub mod cli;
 pub mod enforcement;
 pub mod evaluation;
+pub mod results;
 pub mod tables;
 pub mod timing;

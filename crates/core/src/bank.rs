@@ -158,6 +158,49 @@ impl ClassifierBank {
         &self.classifiers[label]
     }
 
+    /// All one-vs-rest classifiers, indexed by label (binary model
+    /// persistence).
+    pub fn classifiers(&self) -> &[RandomForest] {
+        &self.classifiers
+    }
+
+    /// The configuration the bank was trained with.
+    pub fn config(&self) -> &BankConfig {
+        &self.config
+    }
+
+    /// Rebuilds a bank from persisted parts. Each classifier must be
+    /// binary (the one-vs-rest contract every acceptance query relies
+    /// on) and pair up with exactly one type name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn from_parts(
+        classifiers: Vec<RandomForest>,
+        type_names: Vec<String>,
+        config: BankConfig,
+    ) -> Result<Self, String> {
+        if classifiers.len() != type_names.len() {
+            return Err(format!(
+                "{} classifiers for {} type names",
+                classifiers.len(),
+                type_names.len()
+            ));
+        }
+        if let Some(odd) = classifiers.iter().position(|c| c.n_classes() != 2) {
+            return Err(format!(
+                "classifier {odd} distinguishes {} classes; one-vs-rest classifiers are binary",
+                classifiers[odd].n_classes()
+            ));
+        }
+        Ok(ClassifierBank {
+            classifiers,
+            type_names,
+            config,
+        })
+    }
+
     /// Labels of all device-types whose classifier accepts the
     /// fingerprint. Empty means *new/unknown device-type*.
     pub fn matches(&self, fingerprint: &FixedFingerprint) -> Vec<usize> {

@@ -193,6 +193,49 @@ pub struct TrainedModel {
     config: IdentifierConfig,
 }
 
+impl TrainedModel {
+    /// Reassembles a model from persisted parts. The reference list is
+    /// indexed by the bank's labels, so both must agree on the number
+    /// of device-types.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant.
+    pub fn from_parts(
+        bank: ClassifierBank,
+        references: Vec<Vec<Fingerprint>>,
+        config: IdentifierConfig,
+    ) -> Result<Self, String> {
+        if references.len() != bank.n_types() {
+            return Err(format!(
+                "{} reference sets for {} device-types",
+                references.len(),
+                bank.n_types()
+            ));
+        }
+        Ok(TrainedModel {
+            bank,
+            references,
+            config,
+        })
+    }
+
+    /// The stage-1 one-vs-rest classifier bank.
+    pub fn bank(&self) -> &ClassifierBank {
+        &self.bank
+    }
+
+    /// Stage-2 reference fingerprints, indexed by label.
+    pub fn references(&self) -> &[Vec<Fingerprint>] {
+        &self.references
+    }
+
+    /// The configuration the identifier was trained with.
+    pub fn config(&self) -> &IdentifierConfig {
+        &self.config
+    }
+}
+
 impl From<&Identifier> for TrainedModel {
     fn from(identifier: &Identifier) -> Self {
         TrainedModel {

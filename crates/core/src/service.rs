@@ -134,10 +134,14 @@ impl IoTSecurityService {
     /// [`crate::Identifier::from_json_reader`]) with the built-in
     /// advisory database.
     pub fn from_identifier(identifier: crate::Identifier) -> Self {
-        IoTSecurityService {
-            identifier,
-            vulndb: StaticVulnDb::with_known_iot_advisories(),
-        }
+        Self::from_parts(identifier, StaticVulnDb::with_known_iot_advisories())
+    }
+
+    /// Assembles a service from an already-trained identifier and an
+    /// explicit vulnerability database — the restore path binary model
+    /// persistence uses, where both halves come off disk.
+    pub fn from_parts(identifier: crate::Identifier, vulndb: StaticVulnDb) -> Self {
+        IoTSecurityService { identifier, vulndb }
     }
 
     /// Trains the service with an explicit vulnerability database.

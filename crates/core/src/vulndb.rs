@@ -191,6 +191,28 @@ impl StaticVulnDb {
     pub fn mark_uncontrollable(&mut self, device_type: impl Into<String>) {
         self.uncontrollable.insert(device_type.into());
     }
+
+    /// All `(device-type, advisories)` entries, in unspecified order
+    /// (binary model persistence sorts them itself).
+    pub fn records(&self) -> impl Iterator<Item = (&str, &[CveRecord])> {
+        self.records
+            .iter()
+            .map(|(name, records)| (name.as_str(), records.as_slice()))
+    }
+
+    /// All `(device-type, vendor endpoints)` entries, in unspecified
+    /// order.
+    pub fn endpoints(&self) -> impl Iterator<Item = (&str, &[IpAddr])> {
+        self.endpoints
+            .iter()
+            .map(|(name, endpoints)| (name.as_str(), endpoints.as_slice()))
+    }
+
+    /// All device-types marked as having uncontrollable channels, in
+    /// unspecified order.
+    pub fn uncontrollable(&self) -> impl Iterator<Item = &str> {
+        self.uncontrollable.iter().map(String::as_str)
+    }
 }
 
 impl VulnerabilityDatabase for StaticVulnDb {

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::binning::BinnedDataset;
 use crate::parallel;
+use crate::pinned::PinnedRng;
 use crate::sampling::bootstrap_indices_into;
 use crate::tree::{argmax, FitArena};
 use crate::{Dataset, DecisionTree, TreeConfig};
@@ -233,7 +234,13 @@ impl RandomForest {
         let fitted: Vec<(DecisionTree, Vec<(usize, usize)>)> =
             parallel::map_indexed_init(config.n_trees, threads, FitArena::new, |arena, t| {
                 let positions = &samples[t * n..(t + 1) * n];
-                let mut tree_rng = StdRng::seed_from_u64(seeds[t]);
+                // Per-tree candidate draws live on the v2 pinned
+                // contract, keyed by (forest seed, tree index, per-tree
+                // seed word) — the per-tree seed still comes from the
+                // forest-level StdRng stream above, so bootstrap
+                // sampling is untouched and streams stay independent
+                // across trees.
+                let mut tree_rng = PinnedRng::from_key(config.seed, t as u64, seeds[t]);
                 let tree = match &mode {
                     FitMode::View { bins, rows, .. } => {
                         // Map bootstrap positions to corpus row ids in
@@ -341,6 +348,32 @@ impl RandomForest {
     /// The number of classes the forest distinguishes.
     pub fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    /// Rebuilds a forest from already-validated trees (binary model
+    /// persistence): the forest's class count is taken from the trees,
+    /// which must agree on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated invariant if `trees` is
+    /// empty or the trees disagree on the number of classes.
+    pub fn from_parts(trees: Vec<DecisionTree>, oob_accuracy: Option<f64>) -> Result<Self, String> {
+        let n_classes = match trees.first() {
+            Some(tree) => tree.n_classes(),
+            None => return Err("forest has no trees".into()),
+        };
+        if let Some(odd) = trees.iter().position(|t| t.n_classes() != n_classes) {
+            return Err(format!(
+                "tree {odd} distinguishes {} classes, tree 0 distinguishes {n_classes}",
+                trees[odd].n_classes()
+            ));
+        }
+        Ok(RandomForest {
+            trees,
+            n_classes,
+            oob_accuracy,
+        })
     }
 
     /// Predicts the majority-vote class for a feature row.

@@ -59,4 +59,4 @@ pub use data::Dataset;
 pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
 pub use packed::PackedForest;
 pub use pinned::PinnedRng;
-pub use tree::{DecisionTree, FitArena, TreeConfig};
+pub use tree::{DecisionTree, FitArena, TreeConfig, TreeParts};

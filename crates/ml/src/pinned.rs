@@ -100,11 +100,30 @@ impl PinnedRng {
         let mut items = pool.to_vec();
         let k = k.min(items.len());
         for i in 0..k {
-            let j = i + self.index(items.len() - i);
-            items.swap(i, j);
+            self.sample_step(&mut items, i);
         }
         items.truncate(k);
         items
+    }
+
+    /// One step of the pinned partial Fisher–Yates, in place: swaps slot
+    /// `i` with `i + index(len - i)` and returns the element now at slot
+    /// `i`, consuming exactly one draw.
+    ///
+    /// Iterating `i in 0..k` replays [`PinnedRng::sample_k`] draw for
+    /// draw — this is the lazy form for consumers that inspect one
+    /// candidate at a time and decide *as they go* how many slots to
+    /// fill (training's per-node feature subsampling, where features
+    /// found constant must not count against the candidate budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= items.len()`.
+    #[inline]
+    pub fn sample_step<T: Copy>(&mut self, items: &mut [T], i: usize) -> T {
+        let j = i + self.index(items.len() - i);
+        items.swap(i, j);
+        items[i]
     }
 }
 

@@ -1,10 +1,9 @@
 //! CART decision trees with Gini impurity.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::binning::{BinnedDataset, HistScratch};
+use crate::pinned::PinnedRng;
 use crate::Dataset;
 
 /// Training parameters for a [`DecisionTree`].
@@ -70,6 +69,32 @@ pub struct DecisionTree {
     n_classes: usize,
 }
 
+/// The raw structure-of-arrays content of a [`DecisionTree`], exposed
+/// for binary model persistence. Field meanings mirror the tree's
+/// private arrays one to one (see the [`DecisionTree`] docs);
+/// [`DecisionTree::from_parts`] validates every structural invariant
+/// before accepting them back, so arbitrary (e.g. corrupted-on-disk)
+/// parts can never produce a tree whose traversal panics or loops.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TreeParts {
+    /// Per-node split feature; `u32::MAX` marks a leaf.
+    pub features: Vec<u32>,
+    /// Per-node split threshold (`0.0` at leaves).
+    pub thresholds: Vec<f64>,
+    /// Left child id at splits; at leaves, the `leaf_counts` block index.
+    pub lefts: Vec<u32>,
+    /// Right child id at splits; at leaves, the majority class.
+    pub rights: Vec<u32>,
+    /// Samples that reached each node.
+    pub n_samples: Vec<usize>,
+    /// Gini impurity decrease per node (`0.0` at leaves).
+    pub impurity_decreases: Vec<f64>,
+    /// Per-leaf training class counts, flattened with stride `n_classes`.
+    pub leaf_counts: Vec<usize>,
+    /// The number of classes the tree distinguishes.
+    pub n_classes: usize,
+}
+
 /// Reusable scratch for tree fitting.
 ///
 /// Every buffer the build recursion needs per node — the partitioned
@@ -95,7 +120,8 @@ pub struct FitArena {
     pub(crate) sample: Vec<usize>,
     /// Per-tree in-bag flags for out-of-bag accounting.
     pub(crate) in_bag: Vec<bool>,
-    /// Candidate-feature list, refilled (and reshuffled) per node.
+    /// Candidate-feature list, refilled per node and partially
+    /// Fisher–Yates-stepped in place as slots are inspected.
     candidates: Vec<usize>,
     /// Class counts of the node under construction (the split search
     /// reads them as the parent counts; it must not write them).
@@ -162,7 +188,7 @@ impl DecisionTree {
     /// # Panics
     ///
     /// Panics if `data` is empty.
-    pub fn fit(data: &Dataset, config: &TreeConfig, rng: &mut impl Rng) -> Self {
+    pub fn fit(data: &Dataset, config: &TreeConfig, rng: &mut PinnedRng) -> Self {
         let indices: Vec<usize> = (0..data.len()).collect();
         Self::fit_on(data, &indices, config, rng)
     }
@@ -178,7 +204,7 @@ impl DecisionTree {
         data: &Dataset,
         indices: &[usize],
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
     ) -> Self {
         Self::fit_in(data, indices, config, rng, &mut FitArena::new())
     }
@@ -193,7 +219,7 @@ impl DecisionTree {
         data: &Dataset,
         indices: &[usize],
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
         arena: &mut FitArena,
     ) -> Self {
         Self::fit_inner(data, None, None, indices, config, rng, arena)
@@ -216,7 +242,7 @@ impl DecisionTree {
         bins: &BinnedDataset,
         indices: &[usize],
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
     ) -> Self {
         Self::fit_binned_in(data, bins, indices, config, rng, &mut FitArena::new())
     }
@@ -232,7 +258,7 @@ impl DecisionTree {
         bins: &BinnedDataset,
         indices: &[usize],
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
         arena: &mut FitArena,
     ) -> Self {
         Self::fit_inner(data, Some(bins), None, indices, config, rng, arena)
@@ -263,7 +289,7 @@ impl DecisionTree {
         labels: &[usize],
         n_classes: usize,
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
         arena: &mut FitArena,
     ) -> Self {
         assert!(
@@ -287,7 +313,7 @@ impl DecisionTree {
         relabel: Option<(&[usize], usize)>,
         indices: &[usize],
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
         arena: &mut FitArena,
     ) -> Self {
         assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
@@ -352,6 +378,106 @@ impl DecisionTree {
     /// [`DecisionTree::predict_proba_into`] expects).
     pub fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    /// The tree's raw structure-of-arrays content, for binary model
+    /// persistence. Round-trips exactly through
+    /// [`DecisionTree::from_parts`].
+    pub fn to_parts(&self) -> TreeParts {
+        TreeParts {
+            features: self.features.clone(),
+            thresholds: self.thresholds.clone(),
+            lefts: self.lefts.clone(),
+            rights: self.rights.clone(),
+            n_samples: self.n_samples.clone(),
+            impurity_decreases: self.impurity_decreases.clone(),
+            leaf_counts: self.leaf_counts.clone(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Rebuilds a tree from raw arrays, validating every structural
+    /// invariant the predict/walk paths rely on so that *no* input —
+    /// however corrupt — can make a later traversal panic or loop:
+    /// equal array lengths, split children strictly greater than their
+    /// parent index (the preorder layout `fit` emits, which guarantees
+    /// acyclicity) and in bounds, split features below `n_features`,
+    /// leaf majority classes below `n_classes`, and exactly one
+    /// `n_classes`-wide `leaf_counts` block per leaf with every leaf
+    /// slot in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn from_parts(parts: TreeParts, n_features: usize) -> Result<Self, String> {
+        let TreeParts {
+            features,
+            thresholds,
+            lefts,
+            rights,
+            n_samples,
+            impurity_decreases,
+            leaf_counts,
+            n_classes,
+        } = parts;
+        let n = features.len();
+        if n == 0 {
+            return Err("tree has no nodes".into());
+        }
+        if n_classes == 0 {
+            return Err("tree distinguishes zero classes".into());
+        }
+        if thresholds.len() != n
+            || lefts.len() != n
+            || rights.len() != n
+            || n_samples.len() != n
+            || impurity_decreases.len() != n
+        {
+            return Err(format!("node arrays disagree on length (expected {n})"));
+        }
+        let n_leaves = features.iter().filter(|&&f| f == LEAF).count();
+        if leaf_counts.len() != n_leaves * n_classes {
+            return Err(format!(
+                "leaf counts hold {} slots for {n_leaves} leaves of {n_classes} classes",
+                leaf_counts.len()
+            ));
+        }
+        for (i, &feature) in features.iter().enumerate() {
+            if feature == LEAF {
+                let slot = lefts[i] as usize;
+                if slot >= n_leaves {
+                    return Err(format!(
+                        "leaf {i} points at count block {slot} of {n_leaves}"
+                    ));
+                }
+                if rights[i] as usize >= n_classes {
+                    return Err(format!(
+                        "leaf {i} claims majority class {} of {n_classes}",
+                        rights[i]
+                    ));
+                }
+            } else {
+                if feature as usize >= n_features {
+                    return Err(format!("split {i} tests feature {feature} of {n_features}"));
+                }
+                let (left, right) = (lefts[i] as usize, rights[i] as usize);
+                if left <= i || left >= n || right <= i || right >= n {
+                    return Err(format!(
+                        "split {i} has out-of-preorder children {left}/{right} (n = {n})"
+                    ));
+                }
+            }
+        }
+        Ok(DecisionTree {
+            features,
+            thresholds,
+            lefts,
+            rights,
+            n_samples,
+            impurity_decreases,
+            leaf_counts,
+            n_classes,
+        })
     }
 
     /// Predicts the class of a feature row.
@@ -456,7 +582,7 @@ impl DecisionTree {
         indices: &mut [usize],
         depth: usize,
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
     ) -> usize {
         let data = ctx.data;
         let relabel = ctx.relabel;
@@ -561,7 +687,7 @@ impl DecisionTree {
         ctx: &mut FitContext<'_>,
         indices: &[usize],
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
     ) -> Option<(usize, f64, f64)> {
         let data = ctx.data;
         let FitArena {
@@ -576,11 +702,9 @@ impl DecisionTree {
         let n_features = data.n_features();
         candidates.clear();
         candidates.extend(0..n_features);
+        let subsample = config.n_candidate_features.is_some();
         let limit = match config.n_candidate_features {
-            Some(k) => {
-                candidates.shuffle(rng);
-                k.max(1).min(n_features)
-            }
+            Some(k) => k.max(1).min(n_features),
             None => n_features,
         };
         // Take the best split even at zero Gini gain (as CART splitters
@@ -599,10 +723,23 @@ impl DecisionTree {
         left_counts.resize(self.n_classes, 0);
         right_counts.clear();
         right_counts.resize(self.n_classes, 0);
-        for &feature in candidates.iter() {
+        for slot in 0..n_features {
             if examined >= limit {
                 break;
             }
+            // The v2 candidate draw: one `sample_step` per *inspected*
+            // slot — the lazy form of `PinnedRng::sample_k`, consuming
+            // exactly one pinned draw per slot actually looked at (the
+            // v1 contract shuffled the whole pool up front). Constant
+            // features still `continue` without touching `examined`, so
+            // they cost a draw but never a budget slot — and because
+            // every fit path makes identical constant-skip decisions,
+            // the draw streams stay bit-identical across paths.
+            let feature = if subsample {
+                rng.sample_step(candidates, slot)
+            } else {
+                candidates[slot]
+            };
             column.clear();
             column.extend(
                 indices
@@ -658,7 +795,7 @@ impl DecisionTree {
         indices: &[usize],
         depth: usize,
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
     ) -> Option<(usize, f64, f64)> {
         // Binary problems (every one-vs-rest bank classifier) take the
         // packed-counter fill — same counts, same splits, fewer ops.
@@ -680,11 +817,9 @@ impl DecisionTree {
         let n_features = data.n_features();
         candidates.clear();
         candidates.extend(0..n_features);
+        let subsample = config.n_candidate_features.is_some();
         let limit = match config.n_candidate_features {
-            Some(k) => {
-                candidates.shuffle(rng);
-                k.max(1).min(n_features)
-            }
+            Some(k) => k.max(1).min(n_features),
             None => n_features,
         };
         let words = n_features.div_ceil(64);
@@ -700,10 +835,18 @@ impl DecisionTree {
         left_counts.resize(n_classes, 0);
         right_counts.clear();
         right_counts.resize(n_classes, 0);
-        for &feature in candidates.iter() {
+        for slot in 0..n_features {
             if examined >= limit {
                 break;
             }
+            // One pinned `sample_step` draw per inspected slot; see
+            // `best_split` — the skip decisions below match the exact
+            // scan's, so the draw stream is identical across paths.
+            let feature = if subsample {
+                rng.sample_step(candidates, slot)
+            } else {
+                candidates[slot]
+            };
             let n_bins = bins.n_bins(feature);
             if n_bins <= 1 {
                 continue; // globally constant feature: no threshold exists
@@ -786,7 +929,7 @@ impl DecisionTree {
         indices: &[usize],
         depth: usize,
         config: &TreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut PinnedRng,
     ) -> Option<(usize, f64, f64)> {
         let data = ctx.data;
         let bins = ctx.bins.expect("histogram split search needs bins");
@@ -803,11 +946,9 @@ impl DecisionTree {
         let n_features = data.n_features();
         candidates.clear();
         candidates.extend(0..n_features);
+        let subsample = config.n_candidate_features.is_some();
         let limit = match config.n_candidate_features {
-            Some(k) => {
-                candidates.shuffle(rng);
-                k.max(1).min(n_features)
-            }
+            Some(k) => k.max(1).min(n_features),
             None => n_features,
         };
         let words = n_features.div_ceil(64);
@@ -820,10 +961,17 @@ impl DecisionTree {
         left_counts.resize(2, 0);
         right_counts.clear();
         right_counts.resize(2, 0);
-        for &feature in candidates.iter() {
+        for slot in 0..n_features {
             if examined >= limit {
                 break;
             }
+            // One pinned `sample_step` draw per inspected slot; see
+            // `best_split`.
+            let feature = if subsample {
+                rng.sample_step(candidates, slot)
+            } else {
+                candidates[slot]
+            };
             let n_bins = bins.n_bins(feature);
             if n_bins <= 1 {
                 continue; // globally constant feature: no threshold exists
@@ -946,11 +1094,9 @@ pub(crate) fn argmax(values: &[usize]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> PinnedRng {
+        PinnedRng::from_key(42, 0, 0)
     }
 
     fn xor_dataset() -> Dataset {

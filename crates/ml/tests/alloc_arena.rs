@@ -11,10 +11,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use sentinel_ml::{BinnedDataset, Dataset, DecisionTree, FitArena, TreeConfig};
+use sentinel_ml::{BinnedDataset, Dataset, DecisionTree, FitArena, PinnedRng, TreeConfig};
 
 /// Passes everything through to [`System`], counting every allocation
 /// and reallocation (deallocations are free and uncounted).
@@ -86,7 +83,7 @@ fn steady_state_tree_fits_do_not_allocate_per_node() {
         &bins,
         &indices,
         &config,
-        &mut StdRng::seed_from_u64(9),
+        &mut PinnedRng::from_key(9, 0, 0),
         &mut arena,
     );
     let warm_view = DecisionTree::fit_view_in(
@@ -96,7 +93,7 @@ fn steady_state_tree_fits_do_not_allocate_per_node() {
         &labels,
         2,
         &config,
-        &mut StdRng::seed_from_u64(9),
+        &mut PinnedRng::from_key(9, 0, 0),
         &mut arena,
     );
 
@@ -107,7 +104,7 @@ fn steady_state_tree_fits_do_not_allocate_per_node() {
         &bins,
         &indices,
         &config,
-        &mut StdRng::seed_from_u64(9),
+        &mut PinnedRng::from_key(9, 0, 0),
         &mut arena,
     );
     let spent = allocations() - before;
@@ -126,7 +123,7 @@ fn steady_state_tree_fits_do_not_allocate_per_node() {
         &labels,
         2,
         &config,
-        &mut StdRng::seed_from_u64(9),
+        &mut PinnedRng::from_key(9, 0, 0),
         &mut arena,
     );
     let spent = allocations() - before;

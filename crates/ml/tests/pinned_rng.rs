@@ -129,4 +129,27 @@ proptest! {
         }
         prop_assert_eq!(rng, counter);
     }
+
+    /// `sample_step` is the lazy form of the same pinned contract:
+    /// iterating it slot by slot replays `sample_k`'s prefix draw for
+    /// draw (one draw per step, identical end state). Training's
+    /// per-node candidate subsampling rides on this — its draw stream
+    /// is `sample_k`'s, stopped wherever the candidate budget fills.
+    #[test]
+    fn sample_step_replays_the_sample_k_prefix(
+        seed in any::<u64>(), hi in any::<u64>(), lo in any::<u64>(),
+        n in 1usize..64, k in 0usize..80,
+    ) {
+        let pool: Vec<usize> = (0..n).collect();
+        let mut reference = PinnedRng::from_key(seed, hi, lo);
+        let sample = reference.sample_k(&pool, k);
+        let mut rng = PinnedRng::from_key(seed, hi, lo);
+        let mut items = pool.clone();
+        let mut stepped = Vec::new();
+        for i in 0..k.min(n) {
+            stepped.push(rng.sample_step(&mut items, i));
+        }
+        prop_assert_eq!(&stepped, &sample);
+        prop_assert_eq!(rng, reference, "identical draw accounting");
+    }
 }

@@ -6,11 +6,10 @@
 //! so equality here is structural bit-identity.
 
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use sentinel_ml::{
-    BinnedDataset, Dataset, DecisionTree, FeatureSubsample, ForestConfig, RandomForest, TreeConfig,
+    BinnedDataset, Dataset, DecisionTree, FeatureSubsample, ForestConfig, PinnedRng, RandomForest,
+    TreeConfig,
 };
 
 /// Datasets that stress the binning: few distinct values per column
@@ -46,16 +45,23 @@ proptest! {
             max_depth: 8,
             min_samples_split: 2,
             min_samples_leaf: 1,
-            // Subsample features so the RNG-consumption contract (shuffle
-            // order, constant features not counting against the budget)
-            // is exercised, not just the arithmetic.
+            // Subsample features so the RNG-consumption contract (the
+            // pinned per-slot `sample_step` order, constant features
+            // not counting against the budget) is exercised, not just
+            // the arithmetic.
             n_candidate_features: Some((data.n_features() / 2).max(1)),
         };
         let bins = BinnedDataset::build(&data);
         let indices: Vec<usize> = (0..data.len()).collect();
-        let exact = DecisionTree::fit_on(&data, &indices, &config, &mut StdRng::seed_from_u64(seed));
-        let binned =
-            DecisionTree::fit_binned(&data, &bins, &indices, &config, &mut StdRng::seed_from_u64(seed));
+        let exact =
+            DecisionTree::fit_on(&data, &indices, &config, &mut PinnedRng::from_key(seed, 0, 0));
+        let binned = DecisionTree::fit_binned(
+            &data,
+            &bins,
+            &indices,
+            &config,
+            &mut PinnedRng::from_key(seed, 0, 0),
+        );
         prop_assert_eq!(&exact, &binned, "histogram tree diverged from sorted-scan tree");
     }
 

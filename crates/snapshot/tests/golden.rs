@@ -1,0 +1,62 @@
+//! Golden-fixture pin of the version-1 container format.
+//!
+//! The fixture is the canonical encoding of a fully hand-crafted model
+//! (`common::golden_snapshot`), checked in at `data/golden_v1.snap`.
+//! If `encoding_matches_the_checked_in_fixture` fails, the byte format
+//! changed: that is a contract break for every snapshot already on
+//! disk, and requires either backward-compatible decoding of the old
+//! layout or a `FORMAT_VERSION` bump — never a silent re-pin. To
+//! re-bless deliberately, run with `SNAPSHOT_BLESS=1` and say so in the
+//! changelog.
+
+mod common;
+
+use sentinel_snapshot::{Snapshot, FORMAT_VERSION, MAGIC};
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/golden_v1.snap")
+}
+
+#[test]
+fn encoding_matches_the_checked_in_fixture() {
+    let actual = common::golden_snapshot().encode();
+    if std::env::var_os("SNAPSHOT_BLESS").is_some() {
+        std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+        std::fs::write(fixture_path(), &actual).unwrap();
+    }
+    let expected = std::fs::read(fixture_path())
+        .expect("fixture missing: generate once with SNAPSHOT_BLESS=1");
+    assert_eq!(
+        actual, expected,
+        "the snapshot byte format changed; see the module docs before re-pinning"
+    );
+}
+
+#[test]
+fn fixture_decodes_to_the_golden_model() {
+    let bytes = std::fs::read(fixture_path())
+        .expect("fixture missing: generate once with SNAPSHOT_BLESS=1");
+    let decoded = Snapshot::decode(&bytes).expect("the checked-in fixture must decode");
+    assert_eq!(decoded, common::golden_snapshot());
+}
+
+#[test]
+fn fixture_header_is_the_documented_layout() {
+    let bytes = std::fs::read(fixture_path())
+        .expect("fixture missing: generate once with SNAPSHOT_BLESS=1");
+    assert_eq!(&bytes[..8], &MAGIC);
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        FORMAT_VERSION
+    );
+    // Four sections: config, bank, references, vulndb.
+    assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 4);
+}
+
+#[test]
+fn encoding_is_deterministic() {
+    assert_eq!(
+        common::golden_snapshot().encode(),
+        common::golden_snapshot().encode()
+    );
+}

@@ -11,6 +11,8 @@
 //! * [`core`] — Security Gateway + IoT Security Service pipeline.
 //! * [`stream`] — bounded-memory streaming onboarding runtime for
 //!   interleaved multi-device traffic.
+//! * [`snapshot`] — versioned, checksummed binary model snapshots for
+//!   instant-boot gateways.
 //!
 //! See the [README](https://example.invalid/iot-sentinel) for a quickstart
 //! and `examples/` for runnable end-to-end scenarios.
@@ -23,6 +25,7 @@ pub use sentinel_fingerprint as fingerprint;
 pub use sentinel_ml as ml;
 pub use sentinel_netproto as netproto;
 pub use sentinel_sdn as sdn;
+pub use sentinel_snapshot as snapshot;
 pub use sentinel_stream as stream;
 
 pub use sentinel_core::prelude;

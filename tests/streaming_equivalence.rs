@@ -307,6 +307,58 @@ fn one_stateful_service_is_bit_identical_across_threads_and_paths() {
     }
 }
 
+/// Cross-boot equivalence (the snapshot subsystem's load-path claim):
+/// a service booted from a binary snapshot *file* must be
+/// indistinguishable, bit for bit, from the freshly trained instance it
+/// was captured from — same interleaved capture, same streaming
+/// reports, same installed enforcement, at multiple thread counts.
+#[test]
+fn snapshot_booted_runtime_streams_bit_identically() {
+    use iot_sentinel::snapshot::{Snapshot, SnapshotBoot};
+
+    let model = trained_model(8);
+    let fresh = fresh_service(&model);
+    let path = std::env::temp_dir().join(format!(
+        "sentinel-streaming-equivalence-{}.snap",
+        std::process::id()
+    ));
+    Snapshot::of_service(&fresh).save(&path).expect("save");
+
+    let traces = concurrent_traces(12);
+    let stream = interleave(&traces, Duration::from_millis(9));
+    let baseline = sequential_baseline(&fresh, &stream);
+    assert_eq!(baseline.len(), traces.len(), "every device must onboard");
+
+    for threads in [1usize, 4] {
+        // A brand-new boot from disk per thread count: nothing is
+        // shared with the trained instance but the bytes in the file.
+        let loaded = IoTSecurityService::from_snapshot(&path).expect("load");
+        let mut runtime = StreamRuntime::with_config(
+            loaded,
+            StreamConfig {
+                threads,
+                ..StreamConfig::default()
+            },
+        );
+        let reports = runtime
+            .run(MemorySource::new(stream.clone()))
+            .expect("in-memory source cannot fail");
+        assert_eq!(
+            reports, baseline,
+            "snapshot-booted reports diverged from the trained gateway at {threads} threads"
+        );
+        for report in &baseline {
+            assert_eq!(
+                runtime.enforcement().level_of(report.mac),
+                report.response.isolation,
+                "installed rule diverged for {} after snapshot boot",
+                report.mac
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 /// Probe items for the keyed-assessment proptest: a trained service
 /// plus `(fingerprint, key)` pairs and their individually assessed
 /// baseline responses. Built once — training dominates the test's cost.
