@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use sentinel_core::{FingerprintDataset, Identifier, IdentifierConfig};
+use sentinel_core::{AssessKey, ClassifyScratch, FingerprintDataset, Identifier, IdentifierConfig};
 use sentinel_devicesim::{catalog, Testbed};
 use sentinel_fingerprint::{extract, Fingerprint, FixedFingerprint};
 
@@ -46,6 +46,19 @@ fn batched_classify(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("batched", batch), &fixed, |b, fixed| {
             b.iter(|| identifier.classify_batch(fixed))
         });
+        // The streaming runtime's steady state: the scratch (contiguous
+        // matrix + candidate pool) stays warm across ticks, so a tick is
+        // one transpose plus the row-blocked kernel walks — no heap
+        // allocations at all (pinned by sentinel-core's alloc_batch test).
+        group.bench_with_input(
+            BenchmarkId::new("batched_warm", batch),
+            &fixed,
+            |b, fixed| {
+                let mut scratch = ClassifyScratch::default();
+                let _ = identifier.classify_batch_in(fixed, &mut scratch);
+                b.iter(|| identifier.classify_batch_in(fixed, &mut scratch).len())
+            },
+        );
     }
     group.finish();
 }
@@ -72,6 +85,22 @@ fn batched_identify(c: &mut Criterion) {
     });
     group.bench_function("batched_64", |b| {
         b.iter(|| identifier.identify_batch(&items))
+    });
+    // The keyed streaming path with warm per-shard scratch: what one
+    // runtime tick actually executes per shard.
+    let keyed: Vec<(&Fingerprint, &FixedFingerprint, AssessKey)> = probes
+        .iter()
+        .enumerate()
+        .map(|(i, (full, fixed))| (full, fixed, AssessKey::new(i as u64, [i as u8; 6].into())))
+        .collect();
+    group.bench_function("keyed_warm_64", |b| {
+        let mut scratch = ClassifyScratch::default();
+        let mut out = Vec::new();
+        b.iter(|| {
+            out.clear();
+            identifier.identify_keyed_batch_into(&keyed, &mut scratch, &mut out);
+            out.len()
+        })
     });
     group.finish();
 }

@@ -4,7 +4,9 @@
 
 use std::time::{Duration, Instant};
 
-use sentinel_core::{BankConfig, ClassifierBank, FingerprintDataset, Identifier, IdentifierConfig};
+use sentinel_core::{
+    BankConfig, ClassifierBank, ClassifyScratch, FingerprintDataset, Identifier, IdentifierConfig,
+};
 use sentinel_devicesim::{catalog, Testbed};
 use sentinel_fingerprint::editdist::normalized_distance;
 use sentinel_fingerprint::{extract, extract_frames, FixedFingerprint};
@@ -37,6 +39,11 @@ pub struct TimingReport {
     /// The same batch through [`Identifier::classify_batch`]
     /// (forest-major) — identical results, cache-friendlier walk.
     pub batch_classify_batched: Summary,
+    /// The same batch through [`Identifier::classify_batch_in`] with a
+    /// warm [`ClassifyScratch`] — the streaming runtime's steady-state
+    /// shape: one contiguous batch copy, zero per-tick heap
+    /// allocations (pinned by sentinel-core's `alloc_batch` test).
+    pub batch_classify_warm: Summary,
 }
 
 /// Training-throughput measurements: the full classifier bank and the
@@ -233,9 +240,14 @@ pub fn measure(train_runs: u64, iterations: u64, seed: u64, threads: usize) -> T
     // candidates either way; only the arena walk order differs.
     let mut batch_classify_sequential = Vec::new();
     let mut batch_classify_batched = Vec::new();
+    let mut batch_classify_warm = Vec::new();
     if !batch_probes.is_empty() {
         let refs: Vec<&FixedFingerprint> = batch_probes.iter().collect();
         const BATCH_REPEATS: usize = 24;
+        // Warmed once off the clock, then reused every repeat — the
+        // per-shard scratch a streaming gateway keeps across ticks.
+        let mut scratch = ClassifyScratch::default();
+        let _ = identifier.classify_batch_in(&refs, &mut scratch);
         for _ in 0..BATCH_REPEATS {
             let start = Instant::now();
             let sequential: Vec<Vec<usize>> = refs.iter().map(|f| identifier.classify(f)).collect();
@@ -244,6 +256,10 @@ pub fn measure(train_runs: u64, iterations: u64, seed: u64, threads: usize) -> T
             let batched = identifier.classify_batch(&refs);
             batch_classify_batched.push(start.elapsed());
             assert_eq!(sequential, batched, "batched classification diverged");
+            let start = Instant::now();
+            let warm = identifier.classify_batch_in(&refs, &mut scratch);
+            batch_classify_warm.push(start.elapsed());
+            assert_eq!(sequential, warm, "warm-scratch classification diverged");
         }
     }
 
@@ -266,6 +282,7 @@ pub fn measure(train_runs: u64, iterations: u64, seed: u64, threads: usize) -> T
         },
         batch_classify_sequential: Summary::of_durations_ms(&batch_classify_sequential),
         batch_classify_batched: Summary::of_durations_ms(&batch_classify_batched),
+        batch_classify_warm: Summary::of_durations_ms(&batch_classify_warm),
     }
 }
 

@@ -12,12 +12,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use sentinel_fingerprint::editdist::{osa_distance, osa_distance_bounded};
+use sentinel_fingerprint::editdist::{
+    osa_distance_bounded, osa_distance_wavefront_with, WavefrontScratch,
+};
 use sentinel_fingerprint::{Fingerprint, FixedFingerprint, InternedFingerprint, SymbolTable};
 use sentinel_ml::parallel;
 use sentinel_ml::pinned::PinnedRng;
 use sentinel_ml::sampling::sample_without_replacement;
-use sentinel_ml::PackedForest;
+use sentinel_ml::{BatchMatrix, PackedForest};
 use sentinel_netproto::MacAddr;
 
 use crate::report::{Identification, Outcome};
@@ -154,6 +156,28 @@ impl Default for IdentifierConfig {
             threads: 0,
         }
     }
+}
+
+/// Reusable scratch for the batched identification paths.
+///
+/// Holds the [`BatchMatrix`] batch scratch, the per-forest
+/// acceptance buffer, the per-item candidate pool and the stage-2
+/// wavefront band buffers. A caller that keeps one `ClassifyScratch`
+/// alive across ticks (the streaming runtime holds one per shard)
+/// performs **zero per-tick heap allocations** in steady-state batched
+/// classification — pinned by the counting-allocator test
+/// `crates/core/tests/alloc_batch.rs`. The scratch carries no state
+/// between calls, so reuse cannot change any result.
+#[derive(Debug, Default)]
+pub struct ClassifyScratch {
+    /// Feature-major transpose of the current batch's `F'` rows.
+    matrix: BatchMatrix,
+    /// Per-forest acceptance verdicts for the current batch.
+    accepted: Vec<bool>,
+    /// Per-item candidate label sets; entries are reused across ticks.
+    candidates: Vec<Vec<usize>>,
+    /// Diagonal band buffers for stage-2 wavefront edit distances.
+    wavefront: WavefrontScratch,
 }
 
 /// The trained identification pipeline: classifier bank plus reference
@@ -393,12 +417,15 @@ impl Identifier {
         fixed: &FixedFingerprint,
         mut draw: Draw,
     ) -> Identification {
+        let mut wavefront = WavefrontScratch::default();
         match self.config.mode {
-            IdentifyMode::TwoStage => self.discriminate_with(full, self.classify(fixed), &mut draw),
+            IdentifyMode::TwoStage => {
+                self.discriminate_with(full, self.classify(fixed), &mut draw, &mut wavefront)
+            }
             IdentifyMode::RfOnly => self.rf_best(fixed, self.classify(fixed)),
             IdentifyMode::EditOnly => {
                 let all: Vec<usize> = (0..self.bank.n_types()).collect();
-                let scores = self.dissimilarity_scores(full, &all, &mut draw);
+                let scores = self.dissimilarity_scores(full, &all, &mut draw, &mut wavefront);
                 self.pick_minimum(all, scores, false, &mut draw)
             }
         }
@@ -419,17 +446,26 @@ impl Identifier {
     ) -> Vec<Identification> {
         match self.config.mode {
             IdentifyMode::TwoStage | IdentifyMode::RfOnly => {
-                let fixed: Vec<&FixedFingerprint> = items.iter().map(|&(_, f)| f).collect();
-                let candidates = self.classify_batch(&fixed);
+                let mut scratch = ClassifyScratch::default();
+                let n = self.classify_into(items.iter().map(|&(_, f)| f.as_slice()), &mut scratch);
+                debug_assert_eq!(n, items.len());
                 items
                     .iter()
-                    .zip(candidates)
-                    .map(|(&(full, fixed), candidates)| match self.config.mode {
-                        IdentifyMode::TwoStage => {
-                            let mut draw = Draw::Shared(&self.rng);
-                            self.discriminate_with(full, candidates, &mut draw)
+                    .enumerate()
+                    .map(|(index, &(full, fixed))| {
+                        let candidates = scratch.candidates[index].clone();
+                        match self.config.mode {
+                            IdentifyMode::TwoStage => {
+                                let mut draw = Draw::Shared(&self.rng);
+                                self.discriminate_with(
+                                    full,
+                                    candidates,
+                                    &mut draw,
+                                    &mut scratch.wavefront,
+                                )
+                            }
+                            _ => self.rf_best(fixed, candidates),
                         }
-                        _ => self.rf_best(fixed, candidates),
                     })
                     .collect()
             }
@@ -453,27 +489,51 @@ impl Identifier {
         &self,
         items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
     ) -> Vec<Identification> {
+        let mut scratch = ClassifyScratch::default();
+        let mut out = Vec::with_capacity(items.len());
+        self.identify_keyed_batch_into(items, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Identifier::identify_keyed_batch`] into caller-owned buffers:
+    /// identifications are **appended** to `out` (the shared batch-entry
+    /// contract — the caller owns and clears `out`), and all stage-1 and
+    /// stage-2 working memory comes from `scratch`, so a caller that
+    /// keeps both warm across ticks (the streaming runtime's shards)
+    /// rebuilds nothing per tick.
+    pub fn identify_keyed_batch_into(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
+        scratch: &mut ClassifyScratch,
+        out: &mut Vec<Identification>,
+    ) {
         match self.config.mode {
             IdentifyMode::TwoStage | IdentifyMode::RfOnly => {
-                let fixed: Vec<&FixedFingerprint> = items.iter().map(|&(_, f, _)| f).collect();
-                let candidates = self.classify_batch(&fixed);
-                items
-                    .iter()
-                    .zip(candidates)
-                    .map(|(&(full, fixed, key), candidates)| match self.config.mode {
+                let n = self.classify_into(items.iter().map(|&(_, f, _)| f.as_slice()), scratch);
+                debug_assert_eq!(n, items.len());
+                for (index, &(full, fixed, key)) in items.iter().enumerate() {
+                    let candidates = scratch.candidates[index].clone();
+                    let identification = match self.config.mode {
                         IdentifyMode::TwoStage => {
                             let mut draw = Draw::Keyed(key.rng(self.config.seed));
-                            self.discriminate_with(full, candidates, &mut draw)
+                            self.discriminate_with(
+                                full,
+                                candidates,
+                                &mut draw,
+                                &mut scratch.wavefront,
+                            )
                         }
                         _ => self.rf_best(fixed, candidates),
-                    })
-                    .collect()
+                    };
+                    out.push(identification);
+                }
             }
             // Edit-only has no stage 1 to batch.
-            IdentifyMode::EditOnly => items
-                .iter()
-                .map(|&(full, fixed, key)| self.identify_keyed(full, fixed, key))
-                .collect(),
+            IdentifyMode::EditOnly => out.extend(
+                items
+                    .iter()
+                    .map(|&(full, fixed, key)| self.identify_keyed(full, fixed, key)),
+            ),
         }
     }
 
@@ -499,18 +559,52 @@ impl Identifier {
     /// fingerprint. Labels are visited in increasing order, so each
     /// item's candidate vector is pushed in exactly the per-item order.
     pub fn classify_batch(&self, fixed: &[&FixedFingerprint]) -> Vec<Vec<usize>> {
-        let mut candidates: Vec<Vec<usize>> = vec![Vec::new(); fixed.len()];
-        let rows: Vec<&[f64]> = fixed.iter().map(|f| f.as_slice()).collect();
-        let mut accepted = Vec::with_capacity(rows.len());
+        let mut scratch = ClassifyScratch::default();
+        self.classify_batch_in(fixed, &mut scratch).to_vec()
+    }
+
+    /// [`Identifier::classify_batch`] into caller-owned scratch: the
+    /// batch is transposed into the scratch's [`BatchMatrix`] and walked
+    /// by the row-blocked kernel; the returned slice borrows the
+    /// scratch's candidate pool (one entry per item, in order). With a
+    /// warm scratch this makes zero heap allocations.
+    pub fn classify_batch_in<'s>(
+        &self,
+        fixed: &[&FixedFingerprint],
+        scratch: &'s mut ClassifyScratch,
+    ) -> &'s [Vec<usize>] {
+        let n = self.classify_into(fixed.iter().map(|f| f.as_slice()), scratch);
+        &scratch.candidates[..n]
+    }
+
+    /// The kernel-backed stage 1 shared by every batch path: fills the
+    /// scratch matrix straight from a row iterator (no intermediate
+    /// row-pointer vector), walks each packed arena over the whole
+    /// batch, and leaves item `i`'s candidate labels in
+    /// `scratch.candidates[i]`. Returns the batch size.
+    fn classify_into<'a, I>(&self, rows: I, scratch: &mut ClassifyScratch) -> usize
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        scratch.matrix.fill(rows);
+        let n = scratch.matrix.rows();
+        if scratch.candidates.len() < n {
+            scratch.candidates.resize_with(n, Vec::new);
+        }
+        for slot in scratch.candidates.iter_mut().take(n) {
+            slot.clear();
+        }
         for (label, forest) in self.packed.iter().enumerate() {
-            forest.accepts_batch(&rows, &mut accepted);
-            for (slot, &ok) in candidates.iter_mut().zip(&accepted) {
+            scratch.accepted.clear();
+            forest.accepts_rows(&scratch.matrix, &mut scratch.accepted);
+            for (slot, &ok) in scratch.candidates.iter_mut().zip(&scratch.accepted) {
                 if ok {
                     slot.push(label);
                 }
             }
         }
-        candidates
+        n
     }
 
     /// Whether type `label`'s classifier accepts the fingerprint, via
@@ -526,6 +620,7 @@ impl Identifier {
         full: &Fingerprint,
         candidates: Vec<usize>,
         draw: &mut Draw,
+        wavefront: &mut WavefrontScratch,
     ) -> Identification {
         match candidates.len() {
             0 => Identification {
@@ -539,11 +634,11 @@ impl Identifier {
             // shares nothing with the type's references, and the score
             // is what exposes that (see `max_dissimilarity`).
             1 => {
-                let scores = self.dissimilarity_scores(full, &candidates, draw);
+                let scores = self.dissimilarity_scores(full, &candidates, draw, wavefront);
                 self.pick_minimum(candidates, scores, false, draw)
             }
             _ => {
-                let scores = self.dissimilarity_scores(full, &candidates, draw);
+                let scores = self.dissimilarity_scores(full, &candidates, draw, wavefront);
                 self.pick_minimum(candidates, scores, true, draw)
             }
         }
@@ -597,6 +692,7 @@ impl Identifier {
         full: &Fingerprint,
         candidates: &[usize],
         draw: &mut Draw,
+        wavefront: &mut WavefrontScratch,
     ) -> Vec<f64> {
         // Reference sampling stays sequential, in candidate order, so
         // the draw stream is identical for every thread count.
@@ -616,7 +712,7 @@ impl Identifier {
             let mut best = f64::INFINITY;
             let mut scores = Vec::with_capacity(candidates.len());
             for (slot, &label) in candidates.iter().enumerate() {
-                let score = self.score_candidate(&probe, label, &chosen[slot], best);
+                let score = self.score_candidate(&probe, label, &chosen[slot], best, wavefront);
                 best = best.min(score);
                 scores.push(score);
             }
@@ -627,15 +723,28 @@ impl Identifier {
             // can differ from the sequential path's (looser cutoff),
             // but the tie set — exact scores within 1e-12 of the
             // minimum — is provably the same, so the identified label
-            // and the RNG stream are too.
-            let first = self.score_candidate(&probe, candidates[0], &chosen[0], f64::INFINITY);
+            // and the RNG stream are too. Each worker closure keeps its
+            // own wavefront band buffers (scratch carries no state, so
+            // per-thread scratch cannot change any distance).
+            let first =
+                self.score_candidate(&probe, candidates[0], &chosen[0], f64::INFINITY, wavefront);
             let mut scores = vec![first];
             scores.extend(parallel::map_indexed(candidates.len() - 1, threads, |i| {
-                self.score_candidate(&probe, candidates[i + 1], &chosen[i + 1], first)
+                let mut local = WavefrontScratch::default();
+                self.score_candidate(&probe, candidates[i + 1], &chosen[i + 1], first, &mut local)
             }));
             scores
         }
     }
+
+    /// Shortest sequence length at which [`score_candidate`] switches
+    /// from the row-major banded DP to the anti-diagonal wavefront —
+    /// below this, the row sweep's band stays L1-resident and wins
+    /// (`editdist_interned` bench); both formulations share one exact
+    /// `Some`/`None` contract, so the dispatch cannot change a score.
+    ///
+    /// [`score_candidate`]: Identifier::score_candidate
+    const WAVEFRONT_MIN: usize = 64;
 
     /// Scores one candidate type against its sampled references,
     /// abandoning early once the score provably exceeds `best + 1e-12`.
@@ -648,6 +757,7 @@ impl Identifier {
         label: usize,
         chosen: &[usize],
         best: f64,
+        wavefront: &mut WavefrontScratch,
     ) -> f64 {
         let refs = &self.interned[label];
         let mut sum = 0.0;
@@ -657,30 +767,38 @@ impl Identifier {
             if longest == 0 {
                 continue; // two empty fingerprints: distance 0
             }
-            if !best.is_finite() {
-                sum += osa_distance(probe.symbols(), reference.symbols()) as f64 / longest as f64;
-                continue;
-            }
-            // Remaining normalized-distance budget before the score
-            // leaves the tie tolerance around `best`.
-            let budget = best + 1e-12 - sum;
-            let bound = if budget <= 0.0 {
-                0
+            // Band bound: the full `longest` when no cutoff is active
+            // (an OSA distance never exceeds the longer length, so the
+            // wavefront then always resolves), else the remaining
+            // normalized-distance budget before the score leaves the
+            // tie tolerance around `best`, rescaled to edit operations.
+            let bound = if !best.is_finite() {
+                longest
             } else {
-                (budget * longest as f64).floor() as usize
+                let budget = best + 1e-12 - sum;
+                if budget <= 0.0 {
+                    0
+                } else {
+                    ((budget * longest as f64).floor() as usize).min(longest)
+                }
             };
-            if bound >= longest {
-                // The cutoff cannot trigger (distance <= longest).
-                sum += osa_distance(probe.symbols(), reference.symbols()) as f64 / longest as f64;
+            // Same band, same Some/None contract, two sweep orders: the
+            // row-major banded DP keeps its whole band in L1 for short
+            // fingerprints, while the anti-diagonal wavefront amortizes
+            // its ring-buffer setup only once sequences are long enough
+            // (the `editdist_interned` bench is the measured crossover).
+            let distance = if longest >= Self::WAVEFRONT_MIN {
+                osa_distance_wavefront_with(probe.symbols(), reference.symbols(), bound, wavefront)
             } else {
-                match osa_distance_bounded(probe.symbols(), reference.symbols(), bound) {
-                    Some(distance) => sum += distance as f64 / longest as f64,
-                    None => {
-                        // distance >= bound + 1, so this partial sum is a
-                        // certified lower bound strictly above
-                        // `best + 1e-12`: the candidate cannot win or tie.
-                        return sum + (bound + 1) as f64 / longest as f64;
-                    }
+                osa_distance_bounded(probe.symbols(), reference.symbols(), bound)
+            };
+            match distance {
+                Some(distance) => sum += distance as f64 / longest as f64,
+                None => {
+                    // distance >= bound + 1, so this partial sum is a
+                    // certified lower bound strictly above
+                    // `best + 1e-12`: the candidate cannot win or tie.
+                    return sum + (bound + 1) as f64 / longest as f64;
                 }
             }
         }

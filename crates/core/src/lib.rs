@@ -50,12 +50,14 @@ pub mod vulndb;
 pub use bank::{BankConfig, ClassifierBank};
 pub use dataset::FingerprintDataset;
 pub use gateway::{GatewayConfig, SecurityGateway};
-pub use identify::{AssessKey, Identifier, IdentifierConfig, IdentifyMode, TrainedModel};
+pub use identify::{
+    AssessKey, ClassifyScratch, Identifier, IdentifierConfig, IdentifyMode, TrainedModel,
+};
 pub use migration::{
     migrate, LegacyDevice, MigrationOutcome, MigrationRecord, PskPolicy, RekeySupport,
 };
 pub use report::{Identification, OnboardingReport, Outcome, ServiceResponse};
-pub use service::{IoTSecurityService, SecurityService, ServiceConfig};
+pub use service::{AssessScratch, IoTSecurityService, SecurityService, ServiceConfig};
 
 /// Commonly used types, re-exported for examples and downstream users.
 pub mod prelude {
@@ -65,9 +67,9 @@ pub mod prelude {
     pub use crate::report::{Identification, OnboardingReport, Outcome, ServiceResponse};
     pub use crate::vulndb::{CveRecord, StaticVulnDb, VulnerabilityDatabase};
     pub use crate::{
-        AssessKey, BankConfig, ClassifierBank, FingerprintDataset, GatewayConfig, Identifier,
-        IdentifierConfig, IdentifyMode, IoTSecurityService, SecurityGateway, SecurityService,
-        ServiceConfig,
+        AssessKey, AssessScratch, BankConfig, ClassifierBank, ClassifyScratch, FingerprintDataset,
+        GatewayConfig, Identifier, IdentifierConfig, IdentifyMode, IoTSecurityService,
+        SecurityGateway, SecurityService, ServiceConfig,
     };
     pub use sentinel_fingerprint::{extract, Fingerprint, FixedFingerprint};
     pub use sentinel_sdn::{EnforcementRule, IsolationLevel};

@@ -10,10 +10,25 @@ use serde::{Deserialize, Serialize};
 
 use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
 
-use crate::identify::AssessKey;
-use crate::report::{Outcome, ServiceResponse};
+use crate::identify::{AssessKey, ClassifyScratch};
+use crate::report::{Identification, Outcome, ServiceResponse};
 use crate::vulndb::{StaticVulnDb, VulnerabilityDatabase};
 use crate::{FingerprintDataset, Identifier, IdentifierConfig};
+
+/// Reusable working memory for [`SecurityService::assess_keyed_batch_into`].
+///
+/// Wraps the identifier's [`ClassifyScratch`] plus the intermediate
+/// identification buffer, so a caller that keeps one `AssessScratch` per
+/// worker (the streaming runtime holds one per shard) assesses batch
+/// after batch without rebuilding any per-tick state. Scratch carries no
+/// state between calls; reuse cannot change any response.
+#[derive(Debug, Default)]
+pub struct AssessScratch {
+    /// Stage-1/stage-2 working memory for the identifier.
+    classify: ClassifyScratch,
+    /// Identifications of the current batch, drained into responses.
+    identifications: Vec<Identification>,
+}
 
 /// Anything a [`crate::SecurityGateway`] can consult about a new device.
 ///
@@ -78,6 +93,27 @@ pub trait SecurityService {
             .map(|&(full, fixed, key)| self.assess_keyed(full, fixed, key))
             .collect()
     }
+
+    /// [`SecurityService::assess_keyed_batch`] into caller-owned
+    /// buffers: responses are **appended** to `out` (the shared
+    /// batch-entry contract — the caller owns and clears `out`), and
+    /// implementations draw all per-batch working memory from `scratch`.
+    /// Must produce exactly the responses of
+    /// [`SecurityService::assess_keyed_batch`]; the default delegates
+    /// per item and ignores the scratch.
+    fn assess_keyed_batch_into(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
+        scratch: &mut AssessScratch,
+        out: &mut Vec<ServiceResponse>,
+    ) {
+        let _ = scratch;
+        out.extend(
+            items
+                .iter()
+                .map(|&(full, fixed, key)| self.assess_keyed(full, fixed, key)),
+        );
+    }
 }
 
 /// One trained service can back several gateways (or a gateway and a
@@ -105,6 +141,15 @@ impl<S: SecurityService + ?Sized> SecurityService for &S {
         items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
     ) -> Vec<ServiceResponse> {
         (**self).assess_keyed_batch(items)
+    }
+
+    fn assess_keyed_batch_into(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
+        scratch: &mut AssessScratch,
+        out: &mut Vec<ServiceResponse>,
+    ) {
+        (**self).assess_keyed_batch_into(items, scratch, out)
     }
 }
 
@@ -240,11 +285,34 @@ impl SecurityService for IoTSecurityService {
         &self,
         items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
     ) -> Vec<ServiceResponse> {
-        self.identifier
-            .identify_keyed_batch(items)
-            .into_iter()
-            .map(|identification| self.respond(identification))
-            .collect()
+        let mut scratch = AssessScratch::default();
+        let mut out = Vec::with_capacity(items.len());
+        self.assess_keyed_batch_into(items, &mut scratch, &mut out);
+        out
+    }
+
+    /// The scratch-backed keyed batch: stage 1 goes through the
+    /// row-blocked kernel over the scratch's batch matrix,
+    /// stage 2 through its wavefront band buffers — zero per-tick
+    /// allocations once the scratch is warm, bit-identical responses.
+    fn assess_keyed_batch_into(
+        &self,
+        items: &[(&Fingerprint, &FixedFingerprint, AssessKey)],
+        scratch: &mut AssessScratch,
+        out: &mut Vec<ServiceResponse>,
+    ) {
+        scratch.identifications.clear();
+        self.identifier.identify_keyed_batch_into(
+            items,
+            &mut scratch.classify,
+            &mut scratch.identifications,
+        );
+        out.extend(
+            scratch
+                .identifications
+                .drain(..)
+                .map(|identification| self.respond(identification)),
+        );
     }
 }
 

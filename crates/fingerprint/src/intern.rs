@@ -92,21 +92,32 @@ impl SymbolTable {
     /// against the frozen training-time table, keeping `&self` so
     /// concurrent identifications need no locking.
     pub fn project(&self, fingerprint: &Fingerprint) -> InternedFingerprint {
-        let base = u32::try_from(self.ids.len()).expect("fewer than 2^32 distinct packet columns");
-        let mut fresh: HashMap<&FeatureVector, u32> = HashMap::new();
-        let symbols = fingerprint
-            .vectors()
-            .iter()
-            .map(|vector| {
-                if let Some(&id) = self.ids.get(vector) {
-                    id
-                } else {
-                    let next = base + u32::try_from(fresh.len()).expect("fresh ids fit in u32");
-                    *fresh.entry(vector).or_insert(next)
-                }
-            })
-            .collect();
+        let mut symbols = Vec::with_capacity(fingerprint.len());
+        self.project_into(fingerprint, &mut symbols);
         InternedFingerprint { symbols }
+    }
+
+    /// [`SymbolTable::project`] into a caller-owned symbol buffer,
+    /// **appended** without clearing (the shared batch-entry contract:
+    /// the caller owns and clears `out`, so steady-state projection
+    /// reuses one allocation).
+    ///
+    /// The side table for unseen vectors is only materialized when a
+    /// probe actually contains one — a probe of a known device type
+    /// usually hits the frozen table for every column and projects
+    /// without touching the heap.
+    pub fn project_into(&self, fingerprint: &Fingerprint, out: &mut Vec<u32>) {
+        let base = u32::try_from(self.ids.len()).expect("fewer than 2^32 distinct packet columns");
+        let mut fresh: Option<HashMap<&FeatureVector, u32>> = None;
+        out.extend(fingerprint.vectors().iter().map(|vector| {
+            if let Some(&id) = self.ids.get(vector) {
+                id
+            } else {
+                let fresh = fresh.get_or_insert_with(HashMap::new);
+                let next = base + u32::try_from(fresh.len()).expect("fresh ids fit in u32");
+                *fresh.entry(vector).or_insert(next)
+            }
+        }));
     }
 }
 
@@ -168,6 +179,17 @@ mod tests {
             osa_distance(projected.symbols(), interned.symbols()),
             osa_distance(probe.vectors(), reference.vectors())
         );
+    }
+
+    #[test]
+    fn project_into_appends_without_clearing() {
+        let mut table = SymbolTable::new();
+        let _ = table.intern(&fp(&[1, 2]));
+        let mut out = vec![99u32];
+        table.project_into(&fp(&[2, 1]), &mut out);
+        assert_eq!(out.len(), 3, "appended after the sentinel");
+        assert_eq!(out[0], 99);
+        assert_eq!(&out[1..], table.project(&fp(&[2, 1])).symbols());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`metrics`] — accuracy, confusion matrices, precision/recall.
 //! * [`packed`] — a contiguous, lockstep-walked prediction arena over a
 //!   fitted forest (identical results, hot-path speed).
+//! * [`kernel`] — row-blocked data-parallel batch kernels over the
+//!   packed arenas, fed by a reusable contiguous [`BatchMatrix`].
 //! * [`parallel`] — deterministic fork/join helpers (ordered merges,
 //!   `SENTINEL_THREADS` thread-count resolution).
 //! * [`sampling`] — bootstrap and without-replacement sampling.
@@ -47,6 +49,7 @@ pub mod binning;
 pub mod crossval;
 mod data;
 mod forest;
+pub mod kernel;
 pub mod metrics;
 pub mod packed;
 pub mod parallel;
@@ -57,6 +60,7 @@ mod tree;
 pub use binning::BinnedDataset;
 pub use data::Dataset;
 pub use forest::{FeatureSubsample, ForestConfig, RandomForest};
+pub use kernel::BatchMatrix;
 pub use packed::PackedForest;
 pub use pinned::PinnedRng;
 pub use tree::{DecisionTree, FitArena, TreeConfig, TreeParts};

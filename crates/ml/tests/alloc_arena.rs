@@ -3,6 +3,9 @@
 //! high-water marks), every subsequent tree fit must perform only the
 //! handful of exact-sized output-array allocations — zero per-node
 //! allocations in split search, leaf construction or partitioning.
+//! The same audit covers the inference side: steady-state batched
+//! classification through the row-blocked kernel (a warm
+//! [`BatchMatrix`] plus verdict buffer) must allocate nothing at all.
 //!
 //! This lives in its own integration-test binary because a
 //! `#[global_allocator]` is process-wide: any neighbouring test running
@@ -11,7 +14,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use sentinel_ml::{BinnedDataset, Dataset, DecisionTree, FitArena, PinnedRng, TreeConfig};
+use sentinel_ml::{
+    BatchMatrix, BinnedDataset, Dataset, DecisionTree, FitArena, ForestConfig, PackedForest,
+    PinnedRng, RandomForest, TreeConfig,
+};
 
 /// Passes everything through to [`System`], counting every allocation
 /// and reallocation (deallocations are free and uncounted).
@@ -131,5 +137,39 @@ fn steady_state_tree_fits_do_not_allocate_per_node() {
     assert!(
         spent <= STEADY_STATE_BUDGET,
         "view fit allocated {spent} times in steady state (budget {STEADY_STATE_BUDGET})"
+    );
+
+    // Steady state, batched classification: after one warm-up tick has
+    // sized the batch matrix and the verdict buffer, refill +
+    // row-blocked kernel walks must not touch the heap at all.
+    let mut binary = Dataset::new(12);
+    let mut row = [0.0f64; 12];
+    for i in 0..240usize {
+        for (f, slot) in row.iter_mut().enumerate() {
+            *slot = ((i * (f + 5) + f) % 11) as f64;
+        }
+        binary.push(&row, usize::from(i % 3 == 0));
+    }
+    let forest = RandomForest::fit(
+        &binary,
+        &ForestConfig::default().with_trees(15).with_seed(3),
+    );
+    let packed = PackedForest::from_forest(&forest);
+    let mut matrix = BatchMatrix::new();
+    let mut verdicts: Vec<bool> = Vec::new();
+    matrix.fill((0..64).map(|i| binary.row(i)));
+    packed.accepts_rows(&matrix, &mut verdicts);
+    let baseline = verdicts.clone();
+    let before = allocations();
+    for _ in 0..8 {
+        matrix.fill((0..64).map(|i| binary.row(i)));
+        verdicts.clear();
+        packed.accepts_rows(&matrix, &mut verdicts);
+    }
+    let spent = allocations() - before;
+    assert_eq!(verdicts, baseline, "warm-path verdicts must not drift");
+    assert_eq!(
+        spent, 0,
+        "batched kernel classification allocated {spent} times over 8 steady-state ticks"
     );
 }

@@ -39,7 +39,9 @@ use std::collections::{HashMap, HashSet};
 
 use parking_lot::Mutex;
 
-use sentinel_core::{AssessKey, OnboardingReport, Outcome, SecurityService, ServiceResponse};
+use sentinel_core::{
+    AssessKey, AssessScratch, OnboardingReport, Outcome, SecurityService, ServiceResponse,
+};
 use sentinel_fingerprint::setup::SetupDetector;
 use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
 use sentinel_ml::parallel::{effective_threads, map_indexed};
@@ -105,12 +107,16 @@ impl StreamConfig {
     }
 }
 
-/// One shard's state: its bounded session table plus the set of MACs it
-/// has already onboarded (whose steady-state traffic is skipped).
+/// One shard's state: its bounded session table, the set of MACs it
+/// has already onboarded (whose steady-state traffic is skipped), and
+/// the warm assessment scratch its in-shard keyed batch assessments
+/// reuse tick after tick (kernel batch matrix, wavefront band buffers —
+/// zero per-tick allocations once warm).
 #[derive(Debug)]
 struct Shard {
     table: SessionTable,
     onboarded: HashSet<MacAddr>,
+    scratch: AssessScratch,
 }
 
 /// A finished setup phase, assessed in-shard and queued for in-order
@@ -299,15 +305,23 @@ fn complete(mac: MacAddr, seq: u64, session: Session, reason: CompletionReason) 
 /// shard's whole tick, stage-2 draws from each completion's own
 /// `(seq, mac)`-keyed generator. Pure per item (v2 pinned RNG
 /// contract), so concurrent shards cannot perturb each other.
+/// The shard's warm [`AssessScratch`] backs the service's batched
+/// kernels; responses are appended to `responses` (empty tick ⇒ no
+/// work, no allocation).
 fn assess_completions<S: SecurityService>(
     service: &S,
     completions: &[Completion],
-) -> Vec<ServiceResponse> {
+    scratch: &mut AssessScratch,
+    responses: &mut Vec<ServiceResponse>,
+) {
+    if completions.is_empty() {
+        return;
+    }
     let items: Vec<(&Fingerprint, &FixedFingerprint, AssessKey)> = completions
         .iter()
         .map(|c| (&c.full, &c.fixed, AssessKey::new(c.seq, c.mac)))
         .collect();
-    service.assess_keyed_batch(&items)
+    service.assess_keyed_batch_into(&items, scratch, responses);
 }
 
 /// FNV-1a shard assignment: fixed, hasher-independent, so shard
@@ -355,6 +369,7 @@ impl<S: SecurityService + Sync> StreamRuntime<S> {
                 Mutex::new(Shard {
                     table: SessionTable::new(per_shard),
                     onboarded: HashSet::new(),
+                    scratch: AssessScratch::default(),
                 })
             })
             .collect();
@@ -448,8 +463,14 @@ impl<S: SecurityService + Sync> StreamRuntime<S> {
             let buckets = &self.buckets;
             let service = &self.service;
             map_indexed(shard_count, threads, |s| {
-                let mut outcome = shards[s].lock().process_frames(&buckets[s], frames, config);
-                outcome.responses = assess_completions(service, &outcome.completions);
+                let mut shard = shards[s].lock();
+                let mut outcome = shard.process_frames(&buckets[s], frames, config);
+                assess_completions(
+                    service,
+                    &outcome.completions,
+                    &mut shard.scratch,
+                    &mut outcome.responses,
+                );
                 outcome
             })
         };
@@ -468,8 +489,14 @@ impl<S: SecurityService + Sync> StreamRuntime<S> {
             let buckets = &self.buckets;
             let service = &self.service;
             map_indexed(shard_count, threads, |s| {
-                let mut outcome = shards[s].lock().process(&buckets[s], packets, config);
-                outcome.responses = assess_completions(service, &outcome.completions);
+                let mut shard = shards[s].lock();
+                let mut outcome = shard.process(&buckets[s], packets, config);
+                assess_completions(
+                    service,
+                    &outcome.completions,
+                    &mut shard.scratch,
+                    &mut outcome.responses,
+                );
                 outcome
             })
         };
@@ -514,8 +541,14 @@ impl<S: SecurityService + Sync> StreamRuntime<S> {
             let shards = &self.shards;
             let service = &self.service;
             map_indexed(shard_count, threads, |s| {
-                let mut outcome = shards[s].lock().flush();
-                outcome.responses = assess_completions(service, &outcome.completions);
+                let mut shard = shards[s].lock();
+                let mut outcome = shard.flush();
+                assess_completions(
+                    service,
+                    &outcome.completions,
+                    &mut shard.scratch,
+                    &mut outcome.responses,
+                );
                 outcome
             })
         };

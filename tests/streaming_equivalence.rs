@@ -307,6 +307,94 @@ fn one_stateful_service_is_bit_identical_across_threads_and_paths() {
     }
 }
 
+/// Forces the per-item scalar path: implements only the itemwise
+/// assessment methods, so the trait's *default* batch implementations
+/// loop item by item — stage 1 through the scalar lockstep tree walk
+/// (`PackedForest::accepts`), never the row-blocked kernel over the
+/// contiguous batch matrix. Running a full stream through this
+/// wrapper and through the direct service (whose batch overrides route
+/// everything through the data-parallel kernels) pins
+/// kernels-on == kernels-off end to end.
+struct ScalarPathService<'a>(&'a IoTSecurityService);
+
+impl SecurityService for ScalarPathService<'_> {
+    fn assess(&self, full: &Fingerprint, fixed: &FixedFingerprint) -> ServiceResponse {
+        self.0.assess(full, fixed)
+    }
+
+    fn assess_keyed(
+        &self,
+        full: &Fingerprint,
+        fixed: &FixedFingerprint,
+        key: AssessKey,
+    ) -> ServiceResponse {
+        self.0.assess_keyed(full, fixed, key)
+    }
+}
+
+#[test]
+fn kernel_batched_runtime_matches_per_item_scalar_path() {
+    // The whole-stack kernel differential: the same interleaved stream,
+    // once through the batched kernels (row-blocked stage 1 in-shard)
+    // and once through the per-item scalar walks, must yield byte-equal
+    // reports and stats — at thread counts 1/2/4/8 and over both the
+    // decoded-packet and raw-frame ingest paths.
+    let model = trained_model(8);
+    let service = fresh_service(&model);
+    let traces = concurrent_traces(24);
+    let stream = interleave(&traces, Duration::from_millis(9));
+
+    let mut baseline: Option<Vec<OnboardingReport>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let config = StreamConfig {
+            threads,
+            ..StreamConfig::default()
+        };
+        let mut kernel = StreamRuntime::with_config(&service, config.clone());
+        let kernel_reports = kernel
+            .run(MemorySource::new(stream.clone()))
+            .expect("in-memory source cannot fail");
+        let mut scalar = StreamRuntime::with_config(ScalarPathService(&service), config.clone());
+        let scalar_reports = scalar
+            .run(MemorySource::new(stream.clone()))
+            .expect("in-memory source cannot fail");
+        assert_eq!(
+            kernel_reports, scalar_reports,
+            "kernel path diverged from the per-item scalar path at {threads} threads"
+        );
+        assert_eq!(
+            kernel.stats(),
+            scalar.stats(),
+            "stats diverged between kernel and scalar paths at {threads} threads"
+        );
+
+        let mut kernel_frames = StreamRuntime::with_config(&service, config.clone());
+        let kernel_frame_reports = kernel_frames
+            .run_frames(MemoryFrameSource::from_packets(&stream))
+            .expect("in-memory source cannot fail");
+        let mut scalar_frames = StreamRuntime::with_config(ScalarPathService(&service), config);
+        let scalar_frame_reports = scalar_frames
+            .run_frames(MemoryFrameSource::from_packets(&stream))
+            .expect("in-memory source cannot fail");
+        assert_eq!(
+            kernel_frame_reports, scalar_frame_reports,
+            "frame-path kernels diverged from scalar at {threads} threads"
+        );
+        assert_eq!(
+            kernel_frame_reports, kernel_reports,
+            "frame path diverged from packet path at {threads} threads"
+        );
+
+        match &baseline {
+            None => baseline = Some(kernel_reports),
+            Some(reports) => assert_eq!(
+                &kernel_reports, reports,
+                "reports diverged at {threads} threads"
+            ),
+        }
+    }
+}
+
 /// Cross-boot equivalence (the snapshot subsystem's load-path claim):
 /// a service booted from a binary snapshot *file* must be
 /// indistinguishable, bit for bit, from the freshly trained instance it
