@@ -1,0 +1,157 @@
+//! Fleet-scale multi-gateway soak: ≥ 1000 home networks, each with its
+//! own switch and Sentinel gateway, onboarding staggered device storms
+//! (with leaves and mid-setup roaming) against one shared trained
+//! model, swept over fleet worker-thread counts.
+//!
+//! ```text
+//! cargo run --release -p sentinel-bench --bin fleet_soak
+//! cargo run --release -p sentinel-bench --bin fleet_soak -- --smoke --threads 1,2
+//! cargo run --release -p sentinel-bench --bin fleet_soak -- \
+//!     --homes 2000 --devices 6 --threads 1,2,4 --json results/bench_fleet.json
+//! ```
+//!
+//! Before any throughput number is reported, the bench asserts the
+//! fleet determinism contract: every thread count must reproduce the
+//! baseline `FleetReport` byte for byte, and the certified wire scanner
+//! must have handled every frame (zero decode fallbacks).
+
+use std::time::Instant;
+
+use sentinel_bench::cli::Args;
+use sentinel_bench::tables;
+use sentinel_core::{
+    BankConfig, FingerprintDataset, IdentifierConfig, IoTSecurityService, ServiceConfig,
+};
+use sentinel_devicesim::catalog;
+use sentinel_fleet::{run_fleet, FleetConfig};
+use sentinel_ml::ForestConfig;
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.switch("smoke");
+    let homes: usize = args.get("homes", if smoke { 40 } else { 1000 });
+    let devices_per_home: usize = args.get("devices", 4);
+    let train_runs: u64 = args.get("train-runs", if smoke { 5 } else { 10 });
+    let trees: usize = args.get("trees", 25);
+    let seed: u64 = args.get("seed", 42);
+    let threads: Vec<usize> = args
+        .get_str("threads")
+        .unwrap_or(if smoke { "1,2" } else { "1,2,4" })
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("invalid thread count in --threads: {t:?}"))
+        })
+        .collect();
+    assert!(!threads.is_empty(), "--threads needs at least one count");
+
+    print!(
+        "{}",
+        tables::banner("Fleet soak — multi-gateway onboarding storms, leaves and roaming")
+    );
+    println!(
+        "{homes} homes x {devices_per_home} devices, one shared model, \
+         thread sweep {threads:?}\n"
+    );
+
+    // --- Train the shared IoTSSP once (outside the measured window). ---
+    let devices = catalog();
+    let dataset = FingerprintDataset::collect(&devices, train_runs, seed);
+    let service_config = ServiceConfig {
+        identifier: IdentifierConfig {
+            bank: BankConfig {
+                forest: ForestConfig::default().with_trees(trees),
+                ..BankConfig::default()
+            },
+            ..IdentifierConfig::default()
+        },
+    };
+    let service = IoTSecurityService::train(&dataset, &service_config);
+
+    // --- The measured fleet runs, one per thread count. ---
+    let mut records = Vec::new();
+    let mut baseline: Option<(Vec<u8>, sentinel_fleet::FleetReport, f64)> = None;
+    for &t in &threads {
+        let config = FleetConfig {
+            homes,
+            devices_per_home,
+            seed,
+            threads: t,
+            ..FleetConfig::default()
+        };
+        let start = Instant::now();
+        let report = run_fleet(&service, &config);
+        let elapsed = start.elapsed();
+
+        let bytes = serde_json::to_vec(&report).expect("report serialize");
+        let homes_per_sec = homes as f64 / elapsed.as_secs_f64();
+        let packets = report.stats.packets_in;
+        let pps = packets as f64 / elapsed.as_secs_f64();
+
+        // The determinism contract, asserted before throughput means
+        // anything: bit-identical fleet at every thread count, and the
+        // certified scanner handled every frame.
+        assert_eq!(
+            report.stats.frames_decoded, 0,
+            "decode fallback at {t} threads"
+        );
+        assert_eq!(
+            report.stats.frames_malformed, 0,
+            "malformed frame at {t} threads"
+        );
+        let speedup = match &baseline {
+            None => {
+                baseline = Some((bytes, report, pps));
+                1.0
+            }
+            Some((base_bytes, _, base_pps)) => {
+                assert_eq!(&bytes, base_bytes, "fleet report diverged at {t} threads");
+                pps / base_pps
+            }
+        };
+
+        println!(
+            "threads {t:>2}: {homes} gateways in {:8.1} ms  {homes_per_sec:>8.1} homes/s  \
+             {pps:>10.0} pps  speedup {speedup:.2}x",
+            elapsed.as_secs_f64() * 1e3
+        );
+        records.push(format!(
+            "    {{\"threads\": {t}, \"elapsed_ms\": {:.3}, \"homes_per_sec\": {:.1}, \
+             \"packets_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+            elapsed.as_secs_f64() * 1e3,
+            homes_per_sec,
+            pps,
+            speedup
+        ));
+    }
+
+    let (_, report, _) = baseline.expect("at least one configuration ran");
+    let stats = &report.stats;
+    println!("\nfleet               {stats}");
+    println!(
+        "identification      {}/{} identified ({:.1}%)",
+        stats.identified,
+        stats.onboarded,
+        100.0 * stats.identified as f64 / stats.onboarded.max(1) as f64
+    );
+    println!(
+        "enforcement         {} rules installed, {} removed, {} resident, \
+         cache hit ratio {:.3}",
+        stats.rules_installed,
+        stats.rules_removed,
+        stats.rules_resident,
+        stats.hit_ratio()
+    );
+
+    if let Some(path) = args.get_str("json") {
+        let stats_json = serde_json::to_string(stats).expect("stats serialize");
+        let json = format!(
+            "{{\n  \"bench\": \"fleet_soak\",\n  \"homes\": {homes},\n  \
+             \"devices_per_home\": {devices_per_home},\n  \"train_runs\": {train_runs},\n  \
+             \"seed\": {seed},\n  \"runs\": [\n{}\n  ],\n  \"stats\": {stats_json}\n}}\n",
+            records.join(",\n"),
+        );
+        sentinel_bench::results::write_json(path, &json);
+    }
+}

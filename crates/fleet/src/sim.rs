@@ -1,0 +1,225 @@
+//! The tick-driven multi-gateway fleet simulation.
+
+use std::net::IpAddr;
+
+use serde::Serialize;
+
+use sentinel_core::{OnboardingReport, SecurityService};
+use sentinel_devicesim::{catalog, DeviceModel};
+use sentinel_ml::parallel::map_indexed;
+use sentinel_netproto::{MacAddr, Timestamp};
+use sentinel_sdn::topology::Topology;
+use sentinel_sdn::Destination;
+use sentinel_stream::{StreamRuntime, StreamStats};
+
+use crate::workload::{build_home_workload, is_roam_origin, roam_destination};
+use crate::{FleetConfig, FleetStats};
+
+/// Everything one home gateway produced: its streaming counters, the
+/// onboarding reports in deterministic `(seq, mac)` emission order, and
+/// its enforcement-side accounting.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HomeOutcome {
+    /// Home index in `0..config.homes`.
+    pub home: usize,
+    /// The gateway's streaming counters.
+    pub stats: StreamStats,
+    /// Onboarding reports, in emission order.
+    pub reports: Vec<OnboardingReport>,
+    /// MAC that roamed away mid-setup, if any.
+    pub roam_out: Option<MacAddr>,
+    /// MAC that roamed in from the neighbouring home, if any.
+    pub roam_in: Option<MacAddr>,
+    /// Enforcement rules installed by this gateway.
+    pub rules_installed: u64,
+    /// Rules removed because the device left.
+    pub rules_removed: u64,
+    /// Rules still cached when the run ended.
+    pub rules_resident: u64,
+    /// Rule-cache hits at this gateway.
+    pub cache_hits: u64,
+    /// Rule-cache lookups at this gateway.
+    pub cache_lookups: u64,
+    /// Data-plane probe flows allowed.
+    pub probes_allowed: u64,
+    /// Data-plane probe flows denied.
+    pub probes_denied: u64,
+}
+
+/// The result of a whole fleet run: summed stats plus every home's
+/// outcome, in home order — `PartialEq`/`Serialize` so thread-count
+/// sweeps can assert bit-for-bit equality.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetReport {
+    /// Aggregated fleet counters (see [`FleetStats`] for the rules).
+    pub stats: FleetStats,
+    /// Per-home outcomes, indexed by home.
+    pub homes: Vec<HomeOutcome>,
+}
+
+impl FleetReport {
+    /// The outcome of one home.
+    pub fn home(&self, home: usize) -> &HomeOutcome {
+        &self.homes[home]
+    }
+}
+
+/// Runs the whole fleet: `config.homes` independent home networks, in
+/// parallel across `config.threads` workers, against one shared trained
+/// service.
+///
+/// Each home is a pure function of `(service, config, home index)` —
+/// the v2 keyed RNG contract makes assessment itself deterministic, and
+/// no state flows between homes — so the report is bit-identical at any
+/// thread count and for any home-evaluation order.
+pub fn run_fleet<S: SecurityService + Sync>(service: &S, config: &FleetConfig) -> FleetReport {
+    let devices = catalog();
+    let outcomes = map_indexed(config.homes, config.threads, |home| {
+        run_home(service, config, &devices, home)
+    });
+    let mut stats = FleetStats {
+        homes: config.homes,
+        ..FleetStats::default()
+    };
+    for outcome in &outcomes {
+        stats.absorb(outcome);
+    }
+    FleetReport {
+        stats,
+        homes: outcomes,
+    }
+}
+
+/// Simulates one home network end to end: its own [`Topology`], its own
+/// gateway ([`StreamRuntime`] + enforcement module), a tick loop over
+/// the home's onboarding storm, leaves one tick after onboarding, and
+/// deterministic data-plane probes that exercise the rule cache.
+pub fn run_home<S: SecurityService + Sync>(
+    service: &S,
+    config: &FleetConfig,
+    devices: &[DeviceModel],
+    home: usize,
+) -> HomeOutcome {
+    let workload = build_home_workload(config, devices, home);
+    let topology = Topology::lab();
+    let remote_ip = IpAddr::V4(
+        topology
+            .host("Sremote")
+            .expect("lab topology has a remote server")
+            .ip,
+    );
+    // A MAC no simulated device uses: probing it is a guaranteed cache
+    // miss, decided by the gateway's default (strict) level.
+    let stranger = MacAddr::new([0x02, 0xff, 0xff, 0xff, 0xff, 0xfe]);
+
+    let mut runtime = StreamRuntime::with_config(service, config.stream_config());
+    let mut outcome = HomeOutcome {
+        home,
+        stats: StreamStats::default(),
+        reports: Vec::new(),
+        roam_out: workload.roam_out,
+        roam_in: workload.roam_in,
+        rules_installed: 0,
+        rules_removed: 0,
+        rules_resident: 0,
+        cache_hits: 0,
+        cache_lookups: 0,
+        probes_allowed: 0,
+        probes_denied: 0,
+    };
+
+    let mut pending_leaves: Vec<MacAddr> = Vec::new();
+    let mut cursor = 0usize;
+    let mut tick_end = config.tick;
+    while cursor < workload.frames.len() {
+        // Leaves land on tick boundaries, one tick after onboarding.
+        for mac in pending_leaves.drain(..) {
+            if runtime.enforcement_mut().remove_rule(mac).is_some() {
+                outcome.rules_removed += 1;
+            }
+        }
+        let limit = Timestamp::ZERO + tick_end;
+        let mut end = cursor;
+        while end < workload.frames.len() && workload.frames[end].0 < limit {
+            end += 1;
+        }
+        let reports = runtime.ingest_frames(&workload.frames[cursor..end]);
+        cursor = end;
+        tick_end += config.tick;
+        settle(
+            &mut runtime,
+            reports,
+            &workload.leavers,
+            &mut pending_leaves,
+            &mut outcome,
+            remote_ip,
+            stranger,
+        );
+    }
+    let reports = runtime.flush();
+    settle(
+        &mut runtime,
+        reports,
+        &workload.leavers,
+        &mut pending_leaves,
+        &mut outcome,
+        remote_ip,
+        stranger,
+    );
+    for mac in pending_leaves.drain(..) {
+        if runtime.enforcement_mut().remove_rule(mac).is_some() {
+            outcome.rules_removed += 1;
+        }
+    }
+
+    let cache = runtime.enforcement().cache();
+    outcome.rules_resident = cache.len() as u64;
+    outcome.cache_hits = cache.hits();
+    outcome.cache_lookups = cache.lookups();
+    outcome.stats = runtime.stats().clone();
+    outcome
+}
+
+/// Post-tick bookkeeping: record fresh onboardings, schedule leaves,
+/// and send one data-plane probe per new device (plus one stranger
+/// probe) through the enforcement module so the rule cache sees a
+/// realistic hit/miss mix.
+fn settle<S: SecurityService + Sync>(
+    runtime: &mut StreamRuntime<S>,
+    reports: Vec<OnboardingReport>,
+    leavers: &[MacAddr],
+    pending_leaves: &mut Vec<MacAddr>,
+    outcome: &mut HomeOutcome,
+    remote_ip: IpAddr,
+    stranger: MacAddr,
+) {
+    for report in reports {
+        outcome.rules_installed += 1;
+        let probe = runtime
+            .enforcement_mut()
+            .decide(report.mac, Destination::Internet(remote_ip));
+        if probe.is_allow() {
+            outcome.probes_allowed += 1;
+        } else {
+            outcome.probes_denied += 1;
+        }
+        let miss = runtime
+            .enforcement_mut()
+            .decide(stranger, Destination::Internet(remote_ip));
+        if miss.is_allow() {
+            outcome.probes_allowed += 1;
+        } else {
+            outcome.probes_denied += 1;
+        }
+        if leavers.contains(&report.mac) {
+            pending_leaves.push(report.mac);
+        }
+        outcome.reports.push(report);
+    }
+}
+
+/// Re-export for determinism tests: which home a roamer from `home`
+/// lands in.
+pub fn roamer_route(config: &FleetConfig, home: usize) -> Option<(usize, usize)> {
+    is_roam_origin(config, home).then(|| (home, roam_destination(config, home)))
+}

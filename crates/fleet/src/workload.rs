@@ -1,0 +1,160 @@
+//! Deterministic per-home workload derivation.
+//!
+//! Every home's traffic is a pure function of `(FleetConfig, home
+//! index)`: which device-types join, when each join wave starts, which
+//! device roams away mid-setup, which neighbour's roamer arrives, and
+//! which devices later leave. No global state flows between homes, so
+//! homes can be simulated in any order, on any number of threads, and
+//! produce identical results.
+
+use std::time::Duration;
+
+use sentinel_devicesim::{interleave_at, DeviceModel, SetupTrace, Testbed};
+use sentinel_netproto::{MacAddr, Timestamp};
+
+use crate::FleetConfig;
+
+/// Keyed FNV-1a mix, the same construction the testbed uses to make
+/// collection campaigns reproducible.
+fn mix(seed: u64, home: u64, slot: u64, tag: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for value in [seed, home, slot, tag] {
+        for byte in value.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    hash
+}
+
+const TAG_PROFILE: u64 = 0x50_52_4f_46; // "PROF"
+const TAG_JITTER: u64 = 0x4a_49_54_54; // "JITT"
+const TAG_ROAM: u64 = 0x52_4f_41_4d; // "ROAM"
+const TAG_LEAVE: u64 = 0x4c_45_41_56; // "LEAV"
+
+/// One home's fully derived simulation input.
+#[derive(Debug)]
+pub(crate) struct HomeWorkload {
+    /// Timestamp-ordered wire frames the home gateway ingests.
+    pub frames: Vec<(Timestamp, Vec<u8>)>,
+    /// MAC of the local device that roams away mid-setup, if any.
+    pub roam_out: Option<MacAddr>,
+    /// MAC of the neighbour's device that arrives mid-setup, if any.
+    pub roam_in: Option<MacAddr>,
+    /// Devices that leave (rule removal) one tick after onboarding.
+    pub leavers: Vec<MacAddr>,
+}
+
+/// Whether `home` contributes a roaming device (to `home + 1`).
+pub(crate) fn is_roam_origin(config: &FleetConfig, home: usize) -> bool {
+    config.roaming_enabled() && home.is_multiple_of(config.roam_every)
+}
+
+/// The home a roamer leaving `home` arrives at.
+pub(crate) fn roam_destination(config: &FleetConfig, home: usize) -> usize {
+    (home + 1) % config.homes
+}
+
+/// The device slot of `home` that roams away, when `home` is an origin.
+fn roam_slot(config: &FleetConfig, home: usize) -> usize {
+    (mix(config.seed, home as u64, 0, TAG_ROAM) % config.devices_per_home.max(1) as u64) as usize
+}
+
+/// The full setup trace of `(home, slot)` — reproducible from the seed
+/// alone, so a roam destination can re-derive its neighbour's roamer
+/// without any cross-home state.
+fn slot_trace(
+    config: &FleetConfig,
+    devices: &[DeviceModel],
+    testbed: &Testbed,
+    home: usize,
+    slot: usize,
+) -> SetupTrace {
+    let profile =
+        mix(config.seed, home as u64, slot as u64, TAG_PROFILE) % devices.len().max(1) as u64;
+    let run = (home * config.devices_per_home + slot) as u64;
+    testbed.setup_run(&devices[profile as usize].profile, run)
+}
+
+/// Start offset of `slot` inside its home's onboarding storm: joins
+/// arrive in waves, staggered inside each wave, with a small keyed
+/// jitter so homes are not phase-locked.
+fn join_offset(config: &FleetConfig, home: usize, slot: usize) -> Duration {
+    let waves = config.waves.max(1);
+    let wave = (slot % waves) as u32;
+    let rank = (slot / waves) as u32;
+    let jitter_us = mix(config.seed, home as u64, slot as u64, TAG_JITTER) % 20_000;
+    config.wave_stagger * wave + config.join_stagger * rank + Duration::from_micros(jitter_us)
+}
+
+/// When a roamer's remaining traffic shows up at its destination: after
+/// the destination's own storm has launched every wave.
+fn roam_arrival(config: &FleetConfig, home: usize) -> Duration {
+    let jitter_us = mix(config.seed, home as u64, 1, TAG_ROAM) % 20_000;
+    config.wave_stagger * (config.waves.max(1) as u32 + 1) + Duration::from_micros(jitter_us)
+}
+
+/// Splits a roamer's trace: the first `prefix_len` packets play at the
+/// origin, the rest at the destination.
+fn roam_split(trace: &SetupTrace) -> usize {
+    (trace.packets.len() / 2).max(1)
+}
+
+/// Builds the complete workload of one home.
+pub(crate) fn build_home_workload(
+    config: &FleetConfig,
+    devices: &[DeviceModel],
+    home: usize,
+) -> HomeWorkload {
+    let testbed = Testbed::new(config.seed);
+    let mut traces = Vec::with_capacity(config.devices_per_home + 1);
+    let mut offsets = Vec::with_capacity(config.devices_per_home + 1);
+    let mut leavers = Vec::new();
+    let mut roam_out = None;
+
+    let out_slot = is_roam_origin(config, home).then(|| roam_slot(config, home));
+    for slot in 0..config.devices_per_home {
+        let mut trace = slot_trace(config, devices, &testbed, home, slot);
+        if out_slot == Some(slot) && trace.packets.len() >= 2 {
+            // This device walks out mid-setup: only the prefix of its
+            // traffic reaches this gateway.
+            trace.packets.truncate(roam_split(&trace));
+            roam_out = Some(trace.mac);
+        } else if config.leave_every > 0
+            && mix(config.seed, home as u64, slot as u64, TAG_LEAVE)
+                .is_multiple_of(config.leave_every as u64)
+        {
+            leavers.push(trace.mac);
+        }
+        offsets.push(join_offset(config, home, slot));
+        traces.push(trace);
+    }
+
+    // Re-derive the neighbour's roamer and append its remaining setup
+    // traffic as a late arrival.
+    let mut roam_in = None;
+    if config.roaming_enabled() {
+        let neighbour = (home + config.homes - 1) % config.homes;
+        if is_roam_origin(config, neighbour) && roam_destination(config, neighbour) == home {
+            let slot = roam_slot(config, neighbour);
+            let full = slot_trace(config, devices, &testbed, neighbour, slot);
+            if full.packets.len() >= 2 {
+                let mut suffix = full;
+                let split = roam_split(&suffix);
+                suffix.packets.drain(..split);
+                roam_in = Some(suffix.mac);
+                offsets.push(roam_arrival(config, home));
+                traces.push(suffix);
+            }
+        }
+    }
+
+    let packets = interleave_at(&traces, |index| offsets[index]);
+    let frames = packets.iter().map(|p| (p.timestamp, p.encode())).collect();
+    HomeWorkload {
+        frames,
+        roam_out,
+        roam_in,
+        leavers,
+    }
+}

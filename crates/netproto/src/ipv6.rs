@@ -20,6 +20,9 @@ pub const HEADER_LEN: usize = 40;
 /// Next-header value for the Hop-by-Hop options extension header.
 const HOP_BY_HOP: u8 = 0;
 
+/// Next-header value for the Fragment extension header (RFC 8200 §4.5).
+const FRAGMENT: u8 = 44;
+
 /// An option inside a Hop-by-Hop extension header.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum HopByHopOption {
@@ -99,6 +102,16 @@ pub struct Ipv6Header {
     pub dst: Ipv6Addr,
     /// Hop-by-Hop options, if any (encoded as an extension header).
     pub hop_by_hop: Vec<HopByHopOption>,
+    /// Identification field of an *atomic* Fragment extension header
+    /// (RFC 6946: fragment offset 0, M flag clear — a datagram that was
+    /// never actually split, emitted by stacks answering peers that
+    /// advertise a sub-1280 MTU). When present, the transport after it
+    /// is parsed normally. Genuinely fragmented datagrams (non-zero
+    /// offset or M set) stay opaque: they degrade to
+    /// [`IpProtocol::Other`]\(44\) with the fragment header kept
+    /// verbatim in the raw payload, since their transport bytes are an
+    /// arbitrary mid-datagram slice.
+    pub atomic_fragment: Option<u32>,
 }
 
 impl Ipv6Header {
@@ -112,6 +125,7 @@ impl Ipv6Header {
             src,
             dst,
             hop_by_hop: Vec::new(),
+            atomic_fragment: None,
         }
     }
 
@@ -119,6 +133,14 @@ impl Ipv6Header {
     #[must_use]
     pub fn with_hop_by_hop(mut self, option: HopByHopOption) -> Self {
         self.hop_by_hop.push(option);
+        self
+    }
+
+    /// Adds an atomic Fragment extension header with the given
+    /// identification (builder style).
+    #[must_use]
+    pub fn with_atomic_fragment(mut self, identification: u32) -> Self {
+        self.atomic_fragment = Some(identification);
         self
     }
 
@@ -145,29 +167,42 @@ impl Ipv6Header {
         (2 + opts).div_ceil(8) * 8
     }
 
-    /// Length of the encoded header including any extension header.
+    fn frag_len(&self) -> usize {
+        if self.atomic_fragment.is_some() {
+            8
+        } else {
+            0
+        }
+    }
+
+    /// Length of the encoded header including any extension headers.
     pub fn header_len(&self) -> usize {
-        HEADER_LEN + self.hbh_len()
+        HEADER_LEN + self.hbh_len() + self.frag_len()
     }
 
     /// Appends the header (and extension header) bytes for a payload of
-    /// `payload_len` bytes.
+    /// `payload_len` bytes. Extension headers follow the RFC 8200
+    /// recommended order: Hop-by-Hop first, then Fragment.
     pub fn encode(&self, buf: &mut impl BufMut, payload_len: usize) {
         let hbh_len = self.hbh_len();
-        let first = 0x6000_0000 | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xfffff);
-        buf.put_u32(first);
-        buf.put_u16((hbh_len + payload_len) as u16);
-        buf.put_u8(if hbh_len > 0 {
-            HOP_BY_HOP
+        let frag_len = self.frag_len();
+        // Next-header chain: fixed header → hop-by-hop → fragment → transport.
+        let after_hbh = if frag_len > 0 {
+            FRAGMENT
         } else {
             self.protocol.to_u8()
-        });
+        };
+        let first_next = if hbh_len > 0 { HOP_BY_HOP } else { after_hbh };
+        let first = 0x6000_0000 | ((self.traffic_class as u32) << 20) | (self.flow_label & 0xfffff);
+        buf.put_u32(first);
+        buf.put_u16((hbh_len + frag_len + payload_len) as u16);
+        buf.put_u8(first_next);
         buf.put_u8(self.hop_limit);
         buf.put_slice(&self.src.octets());
         buf.put_slice(&self.dst.octets());
         if hbh_len > 0 {
             let mut ext = Vec::with_capacity(hbh_len);
-            ext.put_u8(self.protocol.to_u8());
+            ext.put_u8(after_hbh);
             ext.put_u8((hbh_len / 8 - 1) as u8);
             for opt in &self.hop_by_hop {
                 opt.encode(&mut ext);
@@ -176,6 +211,12 @@ impl Ipv6Header {
                 ext.put_u8(0); // Pad1 filler
             }
             buf.put_slice(&ext);
+        }
+        if let Some(identification) = self.atomic_fragment {
+            buf.put_u8(self.protocol.to_u8());
+            buf.put_u8(0); // reserved
+            buf.put_u16(0); // fragment offset 0, M clear (atomic)
+            buf.put_u32(identification);
         }
     }
 
@@ -235,6 +276,25 @@ impl Ipv6Header {
             hop_by_hop = parse_hbh_options(&bytes[offset + 2..offset + ext_len])?;
             offset += ext_len;
         }
+        let mut atomic_fragment = None;
+        if next_header == FRAGMENT && offset + 8 <= total {
+            // Consume the fragment header only for a canonical atomic
+            // fragment (reserved bytes zero, offset 0, M clear) —
+            // anything else stays `Other(44)` with the header verbatim
+            // in the payload, so re-encoding is byte-stable.
+            let reserved = bytes[offset + 1];
+            let offset_flags = u16::from_be_bytes([bytes[offset + 2], bytes[offset + 3]]);
+            if reserved == 0 && offset_flags == 0 {
+                next_header = bytes[offset];
+                atomic_fragment = Some(u32::from_be_bytes([
+                    bytes[offset + 4],
+                    bytes[offset + 5],
+                    bytes[offset + 6],
+                    bytes[offset + 7],
+                ]));
+                offset += 8;
+            }
+        }
         let header = Ipv6Header {
             traffic_class: ((first >> 20) & 0xff) as u8,
             flow_label: first & 0xfffff,
@@ -243,6 +303,7 @@ impl Ipv6Header {
             src: Ipv6Addr::from(src),
             dst: Ipv6Addr::from(dst),
             hop_by_hop,
+            atomic_fragment,
         };
         Ok((header, &bytes[offset..total]))
     }
@@ -329,6 +390,66 @@ mod tests {
         assert!(parsed.has_padding_option());
         assert_eq!(parsed, hdr);
         assert_eq!(payload, &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn roundtrip_atomic_fragment() {
+        let hdr = sample().with_atomic_fragment(0xdead_beef);
+        assert_eq!(hdr.header_len(), HEADER_LEN + 8);
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf, 3);
+        buf.extend_from_slice(&[7, 8, 9]);
+        let (parsed, payload) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(parsed, hdr);
+        assert_eq!(parsed.atomic_fragment, Some(0xdead_beef));
+        assert_eq!(parsed.protocol, IpProtocol::Udp);
+        assert_eq!(payload, &[7, 8, 9]);
+    }
+
+    #[test]
+    fn roundtrip_hop_by_hop_then_atomic_fragment() {
+        // RFC 8200 header order: hop-by-hop, then fragment, then transport.
+        let hdr = sample()
+            .with_hop_by_hop(HopByHopOption::RouterAlert(0))
+            .with_hop_by_hop(HopByHopOption::PadN(0))
+            .with_atomic_fragment(42);
+        assert_eq!(hdr.header_len(), HEADER_LEN + 8 + 8);
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf, 2);
+        buf.extend_from_slice(&[1, 2]);
+        let (parsed, payload) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(parsed, hdr);
+        assert!(parsed.has_router_alert());
+        assert_eq!(payload, &[1, 2]);
+    }
+
+    #[test]
+    fn non_atomic_fragment_stays_opaque() {
+        // A real fragment (non-zero offset) cannot be parsed past: the
+        // transport bytes are a mid-datagram slice. It degrades to
+        // Other(44) with the fragment header verbatim in the payload.
+        let mut buf = Vec::new();
+        sample().with_atomic_fragment(7).encode(&mut buf, 2);
+        buf.extend_from_slice(&[0xaa, 0xbb]);
+        let frag_start = HEADER_LEN;
+        buf[frag_start + 2..frag_start + 4].copy_from_slice(&(8u16 << 3).to_be_bytes());
+        let (parsed, payload) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(parsed.atomic_fragment, None);
+        assert_eq!(parsed.protocol, IpProtocol::Other(44));
+        assert_eq!(payload.len(), 10, "fragment header stays in the payload");
+    }
+
+    #[test]
+    fn more_fragments_flag_stays_opaque() {
+        // Offset 0 but M set: the first piece of a split datagram — the
+        // transport header may be complete, but the payload is not.
+        let mut buf = Vec::new();
+        sample().with_atomic_fragment(7).encode(&mut buf, 2);
+        buf.extend_from_slice(&[0xaa, 0xbb]);
+        buf[HEADER_LEN + 3] |= 1;
+        let (parsed, _) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(parsed.atomic_fragment, None);
+        assert_eq!(parsed.protocol, IpProtocol::Other(44));
     }
 
     #[test]

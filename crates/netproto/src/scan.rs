@@ -340,11 +340,21 @@ fn scan_ipv6(b: &[u8], raw: &mut RawFeatures) -> Scan<usize> {
     } else {
         0
     };
+    // Fragment extension header: the decoder consumes it only for a
+    // canonical atomic fragment (reserved zero, offset 0, M clear) and
+    // parses the inner transport; any other fragment stays an unknown
+    // protocol with the header verbatim in the raw payload. Mirror both.
+    let mut frag_len = 0usize;
+    if next_header == 44 && offset + 8 <= total && b[offset + 1] == 0 && be16(b, offset + 2) == 0 {
+        next_header = b[offset];
+        offset += 8;
+        frag_len = 8;
+    }
     raw.protocols.insert(Protocol::Ip);
     let dst: [u8; 16] = b[24..40].try_into().expect("16 bytes");
     raw.dst_ip = Some(IpAddr::V6(Ipv6Addr::from(dst)));
     let transport_encoded = scan_transport(next_header, &b[offset..total], raw)?;
-    Ok(40 + hbh_len + transport_encoded)
+    Ok(40 + hbh_len + frag_len + transport_encoded)
 }
 
 fn scan_transport(protocol: u8, b: &[u8], raw: &mut RawFeatures) -> Scan<usize> {

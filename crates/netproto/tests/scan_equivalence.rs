@@ -158,6 +158,36 @@ fn corpus() -> Vec<Packet> {
                 },
             },
         ),
+        // IPv6 atomic fragment (RFC 6946) carrying TCP/TLS.
+        Packet::new(
+            ts,
+            mac(15),
+            mac(0xfe),
+            PacketBody::Ipv6 {
+                header: Ipv6Header::new(v6(15), v6(1), IpProtocol::Tcp)
+                    .with_atomic_fragment(0x6001_cafe),
+                transport: Transport::Tcp {
+                    header: TcpHeader::new(49_500, 443, TcpFlags::PSH | TcpFlags::ACK),
+                    payload: AppPayload::Tls(TlsRecord::client_hello(48)),
+                },
+            },
+        ),
+        // IPv6 hop-by-hop + atomic fragment chained before UDP.
+        Packet::new(
+            ts,
+            mac(16),
+            mac(0xfe),
+            PacketBody::Ipv6 {
+                header: Ipv6Header::new(v6(16), v6(1), IpProtocol::Udp)
+                    .with_hop_by_hop(HopByHopOption::RouterAlert(0))
+                    .with_hop_by_hop(HopByHopOption::PadN(0))
+                    .with_atomic_fragment(7),
+                transport: Transport::Udp {
+                    header: sentinel_netproto::udp::UdpHeader::new(5353, 5353),
+                    payload: AppPayload::Dns(DnsMessage::query(9, [Question::a("frag.local")])),
+                },
+            },
+        ),
     ];
     // TCP application payloads: HTTP, TLS on 443, TLS by sniff, NTP, raw.
     for (sport, dport, payload) in [
@@ -283,6 +313,72 @@ proptest! {
             frame[at] ^= 1 << bit;
         }
         check_equivalence(&frame);
+    }
+
+    #[test]
+    fn tcp_option_layouts_certify(
+        options in proptest::collection::vec(any::<u8>(), 0..=40),
+        sport in 1024u16..65535,
+        dport in prop_oneof![Just(80u16), Just(443u16), Just(123u16), 1024u16..65535],
+        payload_len in 0usize..32,
+    ) {
+        // Arbitrary option bytes — MSS/SACK/timestamps, NOP runs, EOL,
+        // unknown kinds, unaligned lengths — are length-preserving on the
+        // wire, so every layout must certify and agree with the decoder.
+        let mut header = TcpHeader::new(sport, dport, TcpFlags::PSH | TcpFlags::ACK);
+        header.options = options;
+        let packet = Packet::new(
+            Timestamp::ZERO,
+            mac(20),
+            mac(0xfe),
+            PacketBody::Ipv4 {
+                header: Ipv4Header::new(v4(20), v4(1), IpProtocol::Tcp),
+                transport: Transport::Tcp {
+                    header,
+                    payload: AppPayload::Raw(vec![0x55; payload_len].into()),
+                },
+            },
+        );
+        let frame = packet.encode();
+        prop_assert!(
+            matches!(WireScan::scan(&frame), ScanOutcome::Features(_)),
+            "canonical TCP option layout not certified"
+        );
+        check_equivalence(&frame);
+    }
+
+    #[test]
+    fn ipv6_fragment_headers_never_disagree(
+        reserved in any::<u8>(),
+        offset_flags in any::<u16>(),
+        ident in any::<u32>(),
+        inner in prop_oneof![Just(6u8), Just(17u8), Just(58u8), any::<u8>()],
+        tail in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        // Hand-built fragment header with arbitrary reserved/offset/M
+        // bits: atomic fragments must certify to the decoded features,
+        // genuine (non-atomic) fragments must degrade identically on
+        // both paths.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&mac(0xfe).octets());
+        frame.extend_from_slice(&mac(21).octets());
+        frame.extend_from_slice(&0x86ddu16.to_be_bytes());
+        let payload_len = (8 + tail.len()) as u16;
+        frame.extend_from_slice(&[0x60, 0, 0, 0]);
+        frame.extend_from_slice(&payload_len.to_be_bytes());
+        frame.push(44); // next header: fragment
+        frame.push(64); // hop limit
+        frame.extend_from_slice(&v6(21).octets());
+        frame.extend_from_slice(&v6(1).octets());
+        frame.push(inner);
+        frame.push(reserved);
+        frame.extend_from_slice(&offset_flags.to_be_bytes());
+        frame.extend_from_slice(&ident.to_be_bytes());
+        frame.extend_from_slice(&tail);
+        check_equivalence(&frame);
+        for cut in 0..frame.len() {
+            check_equivalence(&frame[..cut]);
+        }
     }
 
     #[test]

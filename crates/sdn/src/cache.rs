@@ -102,10 +102,19 @@ impl RuleCache {
         self.lookups
     }
 
-    /// Lookup hit ratio in `[0, 1]` (1.0 when no lookups yet).
+    /// Total lookup hits. Fleet-level aggregation must sum `hits` and
+    /// `lookups` across caches and divide once — averaging per-cache
+    /// ratios lets idle gateways skew the fleet number.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookup hit ratio in `[0, 1]`. A cache that has never been looked
+    /// up has no hits to report, so the ratio is 0.0 — not 1.0, which
+    /// would inflate aggregation over mostly-idle caches.
     pub fn hit_ratio(&self) -> f64 {
         if self.lookups == 0 {
-            return 1.0;
+            return 0.0;
         }
         self.hits as f64 / self.lookups as f64
     }
@@ -163,8 +172,22 @@ mod tests {
         assert!(cache.lookup(mac(1)).is_some());
         assert!(cache.lookup(mac(2)).is_none());
         assert_eq!(cache.hit_ratio(), 0.5);
+        assert_eq!((cache.hits(), cache.lookups()), (1, 2));
         assert!(cache.remove(mac(1)).is_some());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn idle_cache_reports_zero_hit_ratio() {
+        // Regression: a never-looked-up cache used to report 1.0, which
+        // ratio-averaging over a mostly-idle fleet would inflate.
+        let cache = RuleCache::new();
+        assert_eq!(cache.hit_ratio(), 0.0);
+        let mut warm = RuleCache::new();
+        warm.insert(EnforcementRule::strict(mac(1)));
+        assert_eq!(warm.hit_ratio(), 0.0, "inserts alone are not lookups");
+        warm.lookup(mac(1));
+        assert_eq!(warm.hit_ratio(), 1.0);
     }
 
     #[test]

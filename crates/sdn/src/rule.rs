@@ -113,29 +113,54 @@ impl EnforcementRule {
 
     /// The rule's storage hash, used as its identity in the enforcement
     /// rule cache (the `hash` field of Fig. 2). Stable across runs.
+    ///
+    /// Every variable-length field is framed with a domain-separator tag
+    /// and an element count before its bytes, so two rules can only hash
+    /// alike if they are field-for-field identical — endpoint octets can
+    /// never masquerade as port bytes (or vice versa), and an empty port
+    /// filter hashes differently from an absent one.
     pub fn hash_value(&self) -> u64 {
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |byte: u8| {
             hash ^= byte as u64;
             hash = hash.wrapping_mul(0x100_0000_01b3);
         };
+        let eat_u32 = |v: u32, eat: &mut dyn FnMut(u8)| {
+            v.to_be_bytes().into_iter().for_each(eat);
+        };
+        eat(0x01); // field: mac
         for byte in self.mac.octets() {
             eat(byte);
         }
+        eat(0x02); // field: level
         eat(match self.level {
             IsolationLevel::Strict => 0,
             IsolationLevel::Restricted => 1,
             IsolationLevel::Trusted => 2,
         });
+        eat(0x03); // field: endpoints
+        eat_u32(self.permitted_endpoints.len() as u32, &mut eat);
         for endpoint in &self.permitted_endpoints {
             match endpoint {
-                IpAddr::V4(v4) => v4.octets().into_iter().for_each(&mut eat),
-                IpAddr::V6(v6) => v6.octets().into_iter().for_each(&mut eat),
+                IpAddr::V4(v4) => {
+                    eat(0x04); // element: v4 address
+                    v4.octets().into_iter().for_each(&mut eat);
+                }
+                IpAddr::V6(v6) => {
+                    eat(0x06); // element: v6 address
+                    v6.octets().into_iter().for_each(&mut eat);
+                }
             }
         }
-        if let Some(ports) = &self.permitted_remote_ports {
-            for port in ports {
-                port.to_be_bytes().into_iter().for_each(&mut eat);
+        eat(0x05); // field: port filter
+        match &self.permitted_remote_ports {
+            None => eat(0x00),
+            Some(ports) => {
+                eat(0x01);
+                eat_u32(ports.len() as u32, &mut eat);
+                for port in ports {
+                    port.to_be_bytes().into_iter().for_each(&mut eat);
+                }
             }
         }
         hash
@@ -207,6 +232,33 @@ mod tests {
         assert_eq!(a.hash_value(), b.hash_value());
         let c = EnforcementRule::strict(mac());
         assert_ne!(a.hash_value(), c.hash_value());
+    }
+
+    #[test]
+    fn hash_separates_endpoint_and_port_fields() {
+        // Regression: with boundary-free FNV, the endpoint octets
+        // [1, 2, 3, 4] of rule `a` feed the hash exactly like the port
+        // big-endian bytes [0x01, 0x02] ++ [0x03, 0x04] of rule `b`,
+        // so two rules with different identities (Fig. 2) collide.
+        let a = EnforcementRule::restricted(mac(), ["1.2.3.4".parse::<IpAddr>().unwrap()]);
+        let b = EnforcementRule::restricted(mac(), []).with_port_filter([0x0102, 0x0304]);
+        assert_ne!(a, b);
+        assert_ne!(
+            a.hash_value(),
+            b.hash_value(),
+            "field boundaries must be hashed"
+        );
+    }
+
+    #[test]
+    fn hash_separates_empty_port_filter_from_none() {
+        // `Some(vec![])` ("no remote flows permitted") and `None` ("no
+        // port refinement") are different policies and need different
+        // identities.
+        let base = EnforcementRule::restricted(mac(), ["52.29.100.7".parse::<IpAddr>().unwrap()]);
+        let filtered = base.clone().with_port_filter([]);
+        assert_ne!(base, filtered);
+        assert_ne!(base.hash_value(), filtered.hash_value());
     }
 
     #[test]

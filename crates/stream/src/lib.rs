@@ -63,6 +63,6 @@ mod table;
 pub use runtime::{StreamConfig, StreamRuntime};
 pub use session::{CompletionReason, Session, SessionEvent};
 pub use stats::StreamStats;
-pub use table::SessionTable;
+pub use table::{Admission, SessionTable};
 
 pub use sentinel_netproto::stream::{FrameSource, MemoryFrameSource, MemorySource, PacketSource};

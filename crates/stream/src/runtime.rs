@@ -46,12 +46,14 @@ use sentinel_fingerprint::setup::SetupDetector;
 use sentinel_fingerprint::{Fingerprint, FixedFingerprint};
 use sentinel_ml::parallel::{effective_threads, map_indexed};
 use sentinel_netproto::stream::{FrameSource, PacketSource};
-use sentinel_netproto::{MacAddr, Packet, ParseError, RawFeatures, Timestamp};
+use sentinel_netproto::{
+    MacAddr, Packet, ParseError, RawFeatures, ScanOutcome, Timestamp, WireScan,
+};
 use sentinel_sdn::{EnforcementModule, EnforcementRule, IsolationLevel, OvsSwitch, SwitchDecision};
 
 use crate::session::{CompletionReason, Session, SessionEvent};
 use crate::stats::StreamStats;
-use crate::table::SessionTable;
+use crate::table::{Admission, SessionTable};
 
 /// Tuning knobs of the streaming runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,6 +159,9 @@ struct ShardOutcome {
     evicted: u64,
     ignored: u64,
     malformed: u64,
+    /// Frames the scanner punted on (`NeedsDecode`) that went through
+    /// the full decoder instead of the zero-copy fast path.
+    decoded: u64,
     resident: usize,
 }
 
@@ -192,7 +197,7 @@ impl Shard {
             if !self.table.contains(mac) {
                 let session =
                     Session::open_sized(seq, packet.timestamp, session_capacity(&config.detector));
-                if self.table.admit(mac, session).is_some() {
+                if let Admission::Shed(..) = self.table.admit(mac, session) {
                     out.evicted += 1;
                 }
                 out.opened += 1;
@@ -234,17 +239,31 @@ impl Shard {
                 out.ignored += 1;
                 continue;
             }
-            let raw = match RawFeatures::from_frame(frame) {
-                Ok(raw) => raw,
-                Err(_) => {
+            // Match the scanner's verdict directly (instead of the
+            // `RawFeatures::from_frame` convenience) so `NeedsDecode`
+            // fallbacks are observable: the fleet soak asserts the
+            // certified fast path covers its whole workload.
+            let raw = match WireScan::scan(frame) {
+                ScanOutcome::Features(raw) => raw,
+                ScanOutcome::Malformed => {
                     out.malformed += 1;
                     continue;
                 }
+                ScanOutcome::NeedsDecode => match Packet::parse(frame, timestamp) {
+                    Ok(packet) => {
+                        out.decoded += 1;
+                        RawFeatures::from_packet(&packet)
+                    }
+                    Err(_) => {
+                        out.malformed += 1;
+                        continue;
+                    }
+                },
             };
             if !self.table.contains(mac) {
                 let session =
                     Session::open_sized(seq, timestamp, session_capacity(&config.detector));
-                if self.table.admit(mac, session).is_some() {
+                if let Admission::Shed(..) = self.table.admit(mac, session) {
                     out.evicted += 1;
                 }
                 out.opened += 1;
@@ -576,6 +595,7 @@ impl<S: SecurityService + Sync> StreamRuntime<S> {
             self.stats.sessions_evicted += outcome.evicted;
             self.stats.packets_ignored += outcome.ignored;
             self.stats.frames_malformed += outcome.malformed;
+            self.stats.frames_decoded += outcome.decoded;
             resident += outcome.resident;
             debug_assert_eq!(outcome.completions.len(), outcome.responses.len());
             assessed.extend(outcome.completions.into_iter().zip(outcome.responses));

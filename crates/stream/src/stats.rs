@@ -22,6 +22,11 @@ pub struct StreamStats {
     /// Raw frames the frame-ingest path dropped because even the lenient
     /// decoder would reject them. Always zero on the decoded-packet path.
     pub frames_malformed: u64,
+    /// Raw frames the wire scanner could not certify (`NeedsDecode`)
+    /// that fell back to the full decoder. Always zero on the
+    /// decoded-packet path; the fleet soak asserts it stays zero on the
+    /// frame path too.
+    pub frames_decoded: u64,
     /// Sessions opened (a shed device re-opening counts again).
     pub sessions_opened: u64,
     /// Sessions that reached identification, by completion reason.
@@ -72,12 +77,13 @@ impl fmt::Display for StreamStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} packets in ({} ignored, {} malformed); {} sessions opened, {} completed \
+            "{} packets in ({} ignored, {} malformed, {} decode-fallback); {} sessions opened, {} completed \
              (gap {}, packet-cap {}, byte-cap {}, flush {}), {} shed, peak {} resident; \
              outcomes: {} identified / {} unknown; isolation: {} strict / {} restricted / {} trusted",
             self.packets_in,
             self.packets_ignored,
             self.frames_malformed,
+            self.frames_decoded,
             self.sessions_opened,
             self.sessions_completed(),
             self.completed_idle_gap,

@@ -20,6 +20,25 @@ pub struct SessionTable {
     sessions: HashMap<MacAddr, Session>,
 }
 
+/// The outcome of [`SessionTable::admit`].
+///
+/// Re-admitting a MAC that already has an in-flight session is a real
+/// caller shape (a roaming device re-appearing at the same gateway), so
+/// it is an explicit variant rather than a `debug_assert!`: the old
+/// session is replaced in place and returned, no innocent LRU victim is
+/// shed, and the resident count is unchanged.
+#[derive(Debug)]
+pub enum Admission {
+    /// The session was admitted into free capacity.
+    Admitted,
+    /// The table was full; the least-recently-active session was shed to
+    /// make room.
+    Shed(MacAddr, Session),
+    /// `mac` already had an in-flight session, which was replaced in
+    /// place and is returned here.
+    Replaced(Session),
+}
+
 impl SessionTable {
     /// Creates a table holding at most `capacity` concurrent sessions.
     pub fn new(capacity: usize) -> Self {
@@ -55,16 +74,26 @@ impl SessionTable {
     }
 
     /// Admits a new session, shedding the least-recently-active one
-    /// first if the table is full. Returns the shed entry, if any.
-    pub fn admit(&mut self, mac: MacAddr, session: Session) -> Option<(MacAddr, Session)> {
-        debug_assert!(!self.sessions.contains_key(&mac), "session already open");
+    /// first if the table is full. Re-admitting a MAC with an in-flight
+    /// session replaces it in place (see [`Admission::Replaced`]) —
+    /// nothing else is shed and the resident count is unchanged.
+    pub fn admit(&mut self, mac: MacAddr, session: Session) -> Admission {
+        if let std::collections::hash_map::Entry::Occupied(mut resident) = self.sessions.entry(mac)
+        {
+            return Admission::Replaced(resident.insert(session));
+        }
+        // Shed before inserting so the incoming session can never be its
+        // own victim, no matter how stale its sequence number is.
         let shed = if self.sessions.len() >= self.capacity {
             self.shed_lru()
         } else {
             None
         };
         self.sessions.insert(mac, session);
-        shed
+        match shed {
+            Some((victim, old)) => Admission::Shed(victim, old),
+            None => Admission::Admitted,
+        }
     }
 
     /// Removes and returns a session (on completion).
@@ -102,16 +131,20 @@ mod tests {
     #[test]
     fn admits_until_capacity_then_sheds_lru() {
         let mut table = SessionTable::new(2);
-        assert!(table
-            .admit(mac(1), Session::open(10, Timestamp::ZERO))
-            .is_none());
-        assert!(table
-            .admit(mac(2), Session::open(20, Timestamp::ZERO))
-            .is_none());
+        assert!(matches!(
+            table.admit(mac(1), Session::open(10, Timestamp::ZERO)),
+            Admission::Admitted
+        ));
+        assert!(matches!(
+            table.admit(mac(2), Session::open(20, Timestamp::ZERO)),
+            Admission::Admitted
+        ));
         // mac(1) has the oldest activity (last_seq 10) and is shed.
-        let (shed, session) = table
-            .admit(mac(3), Session::open(30, Timestamp::ZERO))
-            .expect("table full");
+        let Admission::Shed(shed, session) =
+            table.admit(mac(3), Session::open(30, Timestamp::ZERO))
+        else {
+            panic!("table full: expected a shed");
+        };
         assert_eq!(shed, mac(1));
         assert_eq!(session.opened_seq(), 10);
         assert_eq!(table.len(), 2);
@@ -123,9 +156,10 @@ mod tests {
         let mut table = SessionTable::new(2);
         table.admit(mac(9), Session::open(5, Timestamp::ZERO));
         table.admit(mac(4), Session::open(5, Timestamp::ZERO));
-        let (shed, _) = table
-            .admit(mac(7), Session::open(6, Timestamp::ZERO))
-            .unwrap();
+        let Admission::Shed(shed, _) = table.admit(mac(7), Session::open(6, Timestamp::ZERO))
+        else {
+            panic!("table full: expected a shed");
+        };
         assert_eq!(shed, mac(4), "equal last_seq resolves to the smaller MAC");
     }
 
@@ -138,6 +172,43 @@ mod tests {
         let order: Vec<MacAddr> = table.drain_ordered().into_iter().map(|(m, _)| m).collect();
         assert_eq!(order, vec![mac(1), mac(2), mac(3)]);
         assert!(table.is_empty());
+    }
+
+    #[test]
+    fn readmission_replaces_in_place_without_shedding() {
+        // Regression: a full table re-admitting a MAC that already has an
+        // in-flight session must replace that session in place — not shed
+        // an innocent LRU victim and silently overwrite. Roaming devices
+        // in the fleet sim are exactly this caller shape.
+        let mut table = SessionTable::new(2);
+        table.admit(mac(1), Session::open(20, Timestamp::ZERO));
+        table.admit(mac(2), Session::open(10, Timestamp::ZERO));
+        // mac(2) is the LRU victim candidate; re-admitting mac(1) must
+        // not touch it.
+        let outcome = table.admit(mac(1), Session::open(30, Timestamp::ZERO));
+        assert!(
+            table.contains(mac(2)),
+            "innocent LRU victim shed on re-admission: {outcome:?}"
+        );
+        assert_eq!(table.len(), 2);
+        let Admission::Replaced(old) = outcome else {
+            panic!("expected the stale session back, got {outcome:?}");
+        };
+        assert_eq!(old.opened_seq(), 20);
+        assert_eq!(
+            table.get_mut(mac(1)).unwrap().opened_seq(),
+            30,
+            "fresh session is the resident one"
+        );
+    }
+
+    #[test]
+    fn readmission_below_capacity_still_replaces() {
+        let mut table = SessionTable::new(8);
+        table.admit(mac(1), Session::open(1, Timestamp::ZERO));
+        let outcome = table.admit(mac(1), Session::open(2, Timestamp::ZERO));
+        assert!(matches!(outcome, Admission::Replaced(_)));
+        assert_eq!(table.len(), 1);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`core`] — Security Gateway + IoT Security Service pipeline.
 //! * [`stream`] — bounded-memory streaming onboarding runtime for
 //!   interleaved multi-device traffic.
+//! * [`fleet`] — multi-gateway fleet simulation: many home networks,
+//!   each with its own switch and gateway, under one shared model.
 //! * [`snapshot`] — versioned, checksummed binary model snapshots for
 //!   instant-boot gateways.
 //!
@@ -22,6 +24,7 @@
 pub use sentinel_core as core;
 pub use sentinel_devicesim as devicesim;
 pub use sentinel_fingerprint as fingerprint;
+pub use sentinel_fleet as fleet;
 pub use sentinel_ml as ml;
 pub use sentinel_netproto as netproto;
 pub use sentinel_sdn as sdn;
