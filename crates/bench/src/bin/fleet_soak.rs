@@ -11,9 +11,12 @@
 //! ```
 //!
 //! Before any throughput number is reported, the bench asserts the
-//! fleet determinism contract: every thread count must reproduce the
-//! baseline `FleetReport` byte for byte, and the certified wire scanner
-//! must have handled every frame (zero decode fallbacks).
+//! fleet determinism contract: a cache-off reference run and every
+//! cache-on thread count must reproduce one `FleetReport` byte for
+//! byte, the stage-1 verdict cache must actually get hit, and the
+//! certified wire scanner must have handled every frame (zero decode
+//! fallbacks). The headline sweep runs with the verdict cache enabled —
+//! the deployment shape of a fleet sharing one model.
 
 use std::time::Instant;
 
@@ -23,7 +26,7 @@ use sentinel_core::{
     BankConfig, FingerprintDataset, IdentifierConfig, IoTSecurityService, ServiceConfig,
 };
 use sentinel_devicesim::catalog;
-use sentinel_fleet::{run_fleet, FleetConfig};
+use sentinel_fleet::{run_fleet_with_metrics, FleetConfig};
 use sentinel_ml::ForestConfig;
 
 fn main() {
@@ -67,67 +70,96 @@ fn main() {
             ..IdentifierConfig::default()
         },
     };
-    let service = IoTSecurityService::train(&dataset, &service_config);
+    let mut service = IoTSecurityService::train(&dataset, &service_config);
 
-    // --- The measured fleet runs, one per thread count. ---
+    let fleet_config = |t: usize| FleetConfig {
+        homes,
+        devices_per_home,
+        seed,
+        threads: t,
+        ..FleetConfig::default()
+    };
+    let scan_contract = |report: &sentinel_fleet::FleetReport, label: &str| {
+        assert_eq!(report.stats.frames_decoded, 0, "decode fallback ({label})");
+        assert_eq!(report.stats.frames_malformed, 0, "malformed frame ({label})");
+    };
+
+    // --- Cache-off reference: the uncached exact path, timed, and the
+    // --- byte oracle every cached run must reproduce.
+    let start = Instant::now();
+    let (reference, _) = run_fleet_with_metrics(&service, &fleet_config(threads[0]));
+    let off_elapsed = start.elapsed();
+    scan_contract(&reference, "cache off");
+    let reference_bytes = serde_json::to_vec(&reference).expect("report serialize");
+    println!(
+        "cache off : {homes} gateways in {:8.1} ms  {:>8.1} homes/s  (byte oracle)",
+        off_elapsed.as_secs_f64() * 1e3,
+        homes as f64 / off_elapsed.as_secs_f64()
+    );
+
+    // --- The measured fleet runs, one per thread count, verdict cache
+    // --- on (each run also re-proves cache-on == cache-off, byte for
+    // --- byte, before its throughput means anything).
+    service.enable_verdict_cache(true);
     let mut records = Vec::new();
-    let mut baseline: Option<(Vec<u8>, sentinel_fleet::FleetReport, f64)> = None;
+    let mut base_pps: Option<f64> = None;
+    let mut rows_per_batch = 0.0f64;
     for &t in &threads {
-        let config = FleetConfig {
-            homes,
-            devices_per_home,
-            seed,
-            threads: t,
-            ..FleetConfig::default()
-        };
+        let (hits_before, lookups_before) = service.verdict_cache_stats();
         let start = Instant::now();
-        let report = run_fleet(&service, &config);
+        let (report, metrics) = run_fleet_with_metrics(&service, &fleet_config(t));
         let elapsed = start.elapsed();
+        let (hits_after, lookups_after) = service.verdict_cache_stats();
 
         let bytes = serde_json::to_vec(&report).expect("report serialize");
         let homes_per_sec = homes as f64 / elapsed.as_secs_f64();
-        let packets = report.stats.packets_in;
-        let pps = packets as f64 / elapsed.as_secs_f64();
+        let pps = report.stats.packets_in as f64 / elapsed.as_secs_f64();
 
-        // The determinism contract, asserted before throughput means
-        // anything: bit-identical fleet at every thread count, and the
-        // certified scanner handled every frame.
+        scan_contract(&report, &format!("{t} threads"));
         assert_eq!(
-            report.stats.frames_decoded, 0,
-            "decode fallback at {t} threads"
+            bytes, reference_bytes,
+            "verdict cache or thread count changed the report at {t} threads"
         );
+        let (hits, lookups) = (hits_after - hits_before, lookups_after - lookups_before);
         assert_eq!(
-            report.stats.frames_malformed, 0,
-            "malformed frame at {t} threads"
+            lookups, report.stats.onboarded,
+            "every assessed completion must consult the verdict cache"
         );
-        let speedup = match &baseline {
+        if hits_before > 0 || !records.is_empty() {
+            // Every fingerprint of a repeated fleet run is already cached.
+            assert_eq!(
+                hits, lookups,
+                "a warm verdict cache must serve every repeated completion"
+            );
+        }
+        rows_per_batch = metrics.rows_per_batch();
+        let speedup = match base_pps {
             None => {
-                baseline = Some((bytes, report, pps));
+                base_pps = Some(pps);
                 1.0
             }
-            Some((base_bytes, _, base_pps)) => {
-                assert_eq!(&bytes, base_bytes, "fleet report diverged at {t} threads");
-                pps / base_pps
-            }
+            Some(base) => pps / base,
         };
 
         println!(
             "threads {t:>2}: {homes} gateways in {:8.1} ms  {homes_per_sec:>8.1} homes/s  \
-             {pps:>10.0} pps  speedup {speedup:.2}x",
+             {pps:>10.0} pps  speedup {speedup:.2}x  verdict cache {hits}/{lookups}",
             elapsed.as_secs_f64() * 1e3
         );
         records.push(format!(
             "    {{\"threads\": {t}, \"elapsed_ms\": {:.3}, \"homes_per_sec\": {:.1}, \
-             \"packets_per_sec\": {:.0}, \"speedup\": {:.3}}}",
+             \"packets_per_sec\": {:.0}, \"speedup\": {:.3}, \
+             \"cache_hits\": {hits}, \"cache_lookups\": {lookups}, \
+             \"batched_rows_per_tick\": {:.1}}}",
             elapsed.as_secs_f64() * 1e3,
             homes_per_sec,
             pps,
-            speedup
+            speedup,
+            rows_per_batch
         ));
     }
 
-    let (_, report, _) = baseline.expect("at least one configuration ran");
-    let stats = &report.stats;
+    let stats = &reference.stats;
     println!("\nfleet               {stats}");
     println!(
         "identification      {}/{} identified ({:.1}%)",
@@ -143,13 +175,24 @@ fn main() {
         stats.rules_resident,
         stats.hit_ratio()
     );
+    let (total_hits, total_lookups) = service.verdict_cache_stats();
+    assert!(
+        total_hits > 0,
+        "a sweep over one shared model must hit the verdict cache at least once"
+    );
+    println!(
+        "verdict cache       {total_hits}/{total_lookups} stage-1 hits across the sweep, \
+         {rows_per_batch:.0} rows per assessment batch"
+    );
 
     if let Some(path) = args.get_str("json") {
         let stats_json = serde_json::to_string(stats).expect("stats serialize");
         let json = format!(
             "{{\n  \"bench\": \"fleet_soak\",\n  \"homes\": {homes},\n  \
              \"devices_per_home\": {devices_per_home},\n  \"train_runs\": {train_runs},\n  \
-             \"seed\": {seed},\n  \"runs\": [\n{}\n  ],\n  \"stats\": {stats_json}\n}}\n",
+             \"seed\": {seed},\n  \"cache_off_elapsed_ms\": {:.3},\n  \"runs\": [\n{}\n  ],\n  \
+             \"stats\": {stats_json}\n}}\n",
+            off_elapsed.as_secs_f64() * 1e3,
             records.join(",\n"),
         );
         sentinel_bench::results::write_json(path, &json);

@@ -7,6 +7,10 @@
 //! sum per type into a dissimilarity score `s_i ∈ [0, 5]`, and pick the
 //! minimum.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -178,6 +182,134 @@ pub struct ClassifyScratch {
     candidates: Vec<Vec<usize>>,
     /// Diagonal band buffers for stage-2 wavefront edit distances.
     wavefront: WavefrontScratch,
+    /// `F'` bit-pattern buffer for verdict-cache key derivation.
+    key: Vec<u64>,
+    /// Batch slots the verdict cache could not answer, in batch order.
+    misses: Vec<u32>,
+    /// Routing hash of each miss, aligned with `misses`.
+    miss_hashes: Vec<u64>,
+    /// `(batch slot, miss index)` pairs whose row duplicates an earlier
+    /// miss of the same batch — classified once, copied after.
+    aliases: Vec<(u32, u32)>,
+    /// In-batch dedup index: routing hash → first miss with that hash.
+    pending: HashMap<u64, u32>,
+}
+
+/// Domain tag of the verdict cache's shard-routing hash family.
+const VERDICT_DOMAIN: u64 = 0x5645_5244_4943_5431; // "VERDICT1"
+
+/// Domain tag of the model-identity stamp hashed over the interned
+/// reference corpus.
+const MODEL_STAMP_DOMAIN: u64 = 0x4d4f_4445_4c49_4431; // "MODELID1"
+
+/// Lock shards of the verdict cache (fixed: shard membership of a key
+/// never depends on the machine or the run).
+const VERDICT_SHARDS: usize = 16;
+
+/// One content-addressed stage-1 verdict: the exact `F'` bit pattern
+/// and the candidate labels every per-type classifier produced for it.
+#[derive(Debug)]
+struct CachedVerdict {
+    bits: Box<[u64]>,
+    labels: Box<[u32]>,
+}
+
+/// The content-addressed stage-1 verdict cache.
+///
+/// Stage-1 classification is a pure function of the 276-dim `F'`
+/// vector, so its verdict can be shared by every completion across a
+/// whole gateway fleet that extracts the same fingerprint. Entries are
+/// keyed by the **exact bit pattern** of `F'` (`f64::to_bits` per
+/// dimension): the routing hash — a domain-separated word-wise FNV of
+/// the bit pattern, keyed by the model stamp
+/// ([`sentinel_ml::hash::keyed_hash_words`]) — only picks the lock
+/// shard and the bucket chain, and every chain entry is compared for
+/// full bit equality before it answers. A hash collision therefore
+/// costs a chain walk, never a wrong verdict, which is what makes the
+/// cache byte-transparent: results with the cache on are identical to
+/// results with it off, entry by entry.
+///
+/// Hit/lookup counters are scheduling-dependent under concurrency
+/// (which thread misses first is a race), so they are exposed only
+/// through [`Identifier::verdict_cache_stats`] for observability and
+/// never folded into any deterministic report.
+#[derive(Debug)]
+struct VerdictCache {
+    /// Model-identity stamp: a content hash of the interned reference
+    /// corpus, mixed into the routing-hash domain so caches of
+    /// different trained models route (and would chain-compare) in
+    /// unrelated hash families. The cache is owned by one
+    /// [`Identifier`] and rebuilt on [`Identifier::add_type`], so the
+    /// stamp is defense in depth, not the correctness boundary — that
+    /// is the exact-bits comparison.
+    stamp: u64,
+    shards: Vec<Mutex<HashMap<u64, Vec<CachedVerdict>>>>,
+    hits: AtomicU64,
+    lookups: AtomicU64,
+}
+
+impl VerdictCache {
+    fn new(stamp: u64) -> Self {
+        VerdictCache {
+            stamp,
+            shards: (0..VERDICT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard/bucket routing hash of one `F'` bit pattern.
+    fn row_hash(&self, bits: &[u64]) -> u64 {
+        sentinel_ml::hash::keyed_hash_words(
+            VERDICT_DOMAIN ^ self.stamp,
+            bits.iter().copied(),
+        )
+    }
+
+    /// Copies the cached candidate labels of `bits` into `out` if an
+    /// exactly-equal entry exists. Counts one lookup (and, on success,
+    /// one hit).
+    fn lookup_into(&self, hash: u64, bits: &[u64], out: &mut Vec<usize>) -> bool {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shards[(hash % VERDICT_SHARDS as u64) as usize].lock();
+        if let Some(chain) = shard.get(&hash) {
+            for entry in chain {
+                if *entry.bits == *bits {
+                    out.extend(entry.labels.iter().map(|&label| label as usize));
+                    drop(shard);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Inserts one freshly classified verdict. `row` is the `F'` row in
+    /// feature values; its bit pattern becomes the key. Idempotent
+    /// under races: if another thread inserted the same bits first, the
+    /// (necessarily identical) entry is kept and this one dropped.
+    fn insert(&self, hash: u64, row: &[f64], labels: &[usize]) {
+        let mut shard = self.shards[(hash % VERDICT_SHARDS as u64) as usize].lock();
+        let chain = shard.entry(hash).or_default();
+        if chain
+            .iter()
+            .any(|entry| entry.bits.iter().copied().eq(row.iter().map(|v| v.to_bits())))
+        {
+            return;
+        }
+        chain.push(CachedVerdict {
+            bits: row.iter().map(|v| v.to_bits()).collect(),
+            labels: labels.iter().map(|&label| label as u32).collect(),
+        });
+    }
+
+    fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.lookups.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// The trained identification pipeline: classifier bank plus reference
@@ -205,6 +337,13 @@ pub struct Identifier {
     /// which is far too slow for the per-identification hot path.
     threads: usize,
     rng: Mutex<StdRng>,
+    /// Content-addressed stage-1 verdict cache — `None` (the default)
+    /// leaves every batch path exactly on the uncached kernel. Enabled
+    /// explicitly via [`Identifier::enable_verdict_cache`] by callers
+    /// that classify many repeated fingerprints (the fleet simulation);
+    /// not part of [`IdentifierConfig`], so trained-model snapshots are
+    /// unaffected by the toggle.
+    verdict_cache: Option<VerdictCache>,
 }
 
 /// The serializable snapshot of a trained [`Identifier`] — what an
@@ -324,7 +463,47 @@ impl Identifier {
             threads,
             config,
             rng,
+            verdict_cache: None,
         }
+    }
+
+    /// The model-identity stamp: a content hash of every interned
+    /// reference fingerprint's symbols (sequence boundaries included)
+    /// folded with the number of trained types. Two identifiers trained
+    /// on different corpora get different stamps, which keys their
+    /// verdict caches into unrelated routing-hash families.
+    fn model_stamp(&self) -> u64 {
+        let corpus = sentinel_ml::hash::symbol_set_hash(
+            MODEL_STAMP_DOMAIN,
+            self.interned
+                .iter()
+                .flat_map(|of_type| of_type.iter().map(InternedFingerprint::symbols)),
+        );
+        sentinel_ml::hash::keyed_hash(corpus, [self.bank.n_types() as u64])
+    }
+
+    /// Turns the content-addressed stage-1 verdict cache on or off.
+    ///
+    /// The cache is **byte-transparent**: every batch classification
+    /// path returns bit-identical candidate sets with the cache on or
+    /// off, because entries are keyed by the exact `F'` bit pattern and
+    /// stage 1 is a pure function of it. Enabling (or re-enabling)
+    /// starts from an empty cache stamped with the current model
+    /// identity; [`Identifier::add_type`] rebuilds an enabled cache so
+    /// stale verdicts can never outlive the model they were computed
+    /// under.
+    pub fn enable_verdict_cache(&mut self, enabled: bool) {
+        self.verdict_cache = enabled.then(|| VerdictCache::new(self.model_stamp()));
+    }
+
+    /// `(hits, lookups)` of the verdict cache since it was enabled —
+    /// `(0, 0)` when disabled. Scheduling-dependent under concurrency
+    /// (which racing thread misses first is not deterministic), so
+    /// callers must keep these out of any byte-compared report.
+    pub fn verdict_cache_stats(&self) -> (u64, u64) {
+        self.verdict_cache
+            .as_ref()
+            .map_or((0, 0), VerdictCache::stats)
     }
 
     /// The underlying classifier bank.
@@ -360,6 +539,12 @@ impl Identifier {
         self.pools.push((0..references.len()).collect());
         self.interned.push(interned);
         self.references.push(references);
+        // The model changed: verdicts computed under the old type set
+        // are stale (the new classifier may accept old fingerprints),
+        // so an enabled cache restarts empty under the new stamp.
+        if self.verdict_cache.is_some() {
+            self.verdict_cache = Some(VerdictCache::new(self.model_stamp()));
+        }
         label
     }
 
@@ -587,6 +772,9 @@ impl Identifier {
         I: IntoIterator<Item = &'a [f64]>,
         I::IntoIter: ExactSizeIterator,
     {
+        if let Some(cache) = &self.verdict_cache {
+            return self.classify_into_cached(cache, rows, scratch);
+        }
         scratch.matrix.fill(rows);
         let n = scratch.matrix.rows();
         if scratch.candidates.len() < n {
@@ -603,6 +791,112 @@ impl Identifier {
                     slot.push(label);
                 }
             }
+        }
+        n
+    }
+
+    /// The verdict-cached stage-1 kernel. Bit-identical to the uncached
+    /// path: cache hits replay labels that an earlier identical `F'`
+    /// row produced (entries compare full bit patterns, and both paths
+    /// emit labels in increasing order), in-batch duplicates are
+    /// classified once and copied, and only genuinely new rows walk the
+    /// forests — packed into a dense miss matrix so the row-blocked
+    /// kernels keep their batch advantage.
+    fn classify_into_cached<'a, I>(
+        &self,
+        cache: &VerdictCache,
+        rows: I,
+        scratch: &mut ClassifyScratch,
+    ) -> usize
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let rows = rows.into_iter();
+        let n = rows.len();
+        let ClassifyScratch {
+            matrix,
+            accepted,
+            candidates,
+            key,
+            misses,
+            miss_hashes,
+            aliases,
+            pending,
+            ..
+        } = scratch;
+        if candidates.len() < n {
+            candidates.resize_with(n, Vec::new);
+        }
+        matrix.clear();
+        misses.clear();
+        miss_hashes.clear();
+        aliases.clear();
+        pending.clear();
+        for (index, cells) in rows.enumerate() {
+            let slot = &mut candidates[index];
+            slot.clear();
+            key.clear();
+            key.extend(cells.iter().map(|value| value.to_bits()));
+            let hash = cache.row_hash(key);
+            if cache.lookup_into(hash, key, slot) {
+                continue;
+            }
+            // In-batch dedup: a row equal to an earlier miss of this
+            // batch is classified once and its labels copied afterwards.
+            // A routing-hash collision (equal hash, different bits)
+            // falls through to its own miss slot; `pending` keeps
+            // pointing at the first miss, so a collided row merely
+            // loses its dedup shortcut — never its correct verdict.
+            match pending.entry(hash) {
+                Entry::Occupied(first) => {
+                    let miss = *first.get();
+                    let earlier = matrix.row(miss as usize);
+                    if earlier
+                        .iter()
+                        .map(|value| value.to_bits())
+                        .eq(key.iter().copied())
+                    {
+                        aliases.push((index as u32, miss));
+                        continue;
+                    }
+                    matrix.push_row(cells);
+                    misses.push(index as u32);
+                    miss_hashes.push(hash);
+                }
+                Entry::Vacant(vacant) => {
+                    vacant.insert(misses.len() as u32);
+                    matrix.push_row(cells);
+                    misses.push(index as u32);
+                    miss_hashes.push(hash);
+                }
+            }
+        }
+        // Forest pass over the dense miss matrix, scattering each
+        // accepted label back to the miss's batch slot (labels visited
+        // in increasing order = per-item candidate order).
+        if !misses.is_empty() {
+            for (label, forest) in self.packed.iter().enumerate() {
+                accepted.clear();
+                forest.accepts_rows(matrix, accepted);
+                for (miss, &ok) in accepted.iter().enumerate() {
+                    if ok {
+                        candidates[misses[miss] as usize].push(label);
+                    }
+                }
+            }
+        }
+        // Publish fresh verdicts, then resolve in-batch aliases. An
+        // alias's source slot always precedes it in the batch, so the
+        // split borrow below is well-formed.
+        for (miss, (&slot, &hash)) in misses.iter().zip(miss_hashes.iter()).enumerate() {
+            cache.insert(hash, matrix.row(miss), &candidates[slot as usize]);
+        }
+        for &(index, miss) in aliases.iter() {
+            let source = misses[miss as usize] as usize;
+            debug_assert!(source < index as usize);
+            let (head, tail) = candidates.split_at_mut(index as usize);
+            tail[0].extend_from_slice(&head[source]);
         }
         n
     }

@@ -219,6 +219,20 @@ impl IoTSecurityService {
         self.identifier.add_type(name, dataset)
     }
 
+    /// Turns the identifier's content-addressed stage-1 verdict cache
+    /// on or off (see [`Identifier::enable_verdict_cache`] — byte-
+    /// transparent, off by default).
+    pub fn enable_verdict_cache(&mut self, enabled: bool) {
+        self.identifier.enable_verdict_cache(enabled);
+    }
+
+    /// `(hits, lookups)` of the verdict cache since it was enabled —
+    /// `(0, 0)` when disabled. Scheduling-dependent under concurrency;
+    /// observability only, never part of a deterministic report.
+    pub fn verdict_cache_stats(&self) -> (u64, u64) {
+        self.identifier.verdict_cache_stats()
+    }
+
     /// The vulnerability database.
     pub fn vulndb(&self) -> &StaticVulnDb {
         &self.vulndb

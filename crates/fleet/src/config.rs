@@ -49,6 +49,13 @@ pub struct FleetConfig {
     /// Virtual shards per home gateway (small: a home hosts a handful
     /// of devices, not thousands).
     pub shards_per_home: usize,
+    /// Rows per fleet-wide keyed assessment batch in the lockstep
+    /// tick's assess pass. Purely a throughput knob: keyed assessment
+    /// is a pure function per completion, so any chunking produces a
+    /// bit-identical [`crate::FleetReport`]. Sized so the batched
+    /// stage-1 kernels see hundreds of rows per call while the batch
+    /// matrix stays cache-resident.
+    pub assess_batch_rows: usize,
 }
 
 impl Default for FleetConfig {
@@ -66,6 +73,7 @@ impl Default for FleetConfig {
             threads: 0,
             max_sessions_per_home: 16,
             shards_per_home: 4,
+            assess_batch_rows: 512,
         }
     }
 }

@@ -104,6 +104,35 @@ impl FleetStats {
     }
 }
 
+/// Shape metrics of one fleet run's assessment pass — how the work was
+/// scheduled, not what it computed.
+///
+/// Kept **outside** [`crate::FleetReport`] on purpose: batch shape
+/// varies with [`crate::FleetConfig::assess_batch_rows`] while the
+/// report must stay byte-identical across every execution shape, so
+/// these numbers ride the separate return of
+/// [`crate::run_fleet_with_metrics`] (the fleet soak emits them next to
+/// its timing data).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Completions assessed across the whole fleet.
+    pub assess_rows: u64,
+    /// Keyed batch calls those rows were chunked into.
+    pub assess_batches: u64,
+}
+
+impl FleetMetrics {
+    /// Mean assessed rows per batch call — the amortization the
+    /// cross-gateway pooling bought (the inline per-home loop averaged
+    /// single-digit rows per call).
+    pub fn rows_per_batch(&self) -> f64 {
+        if self.assess_batches == 0 {
+            return 0.0;
+        }
+        self.assess_rows as f64 / self.assess_batches as f64
+    }
+}
+
 impl fmt::Display for FleetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -6,10 +6,15 @@
 //! which devices later leave. No global state flows between homes, so
 //! homes can be simulated in any order, on any number of threads, and
 //! produce identical results.
+//!
+//! [`HomeWorkload`] is a reusable buffer: a pooled fleet worker keeps
+//! one per thread and [`HomeWorkload::rebuild`]s it for each home it
+//! claims, so the per-home frame buffers (and the interleave order
+//! scratch) are allocated once per worker instead of once per home.
 
 use std::time::Duration;
 
-use sentinel_devicesim::{interleave_at, DeviceModel, SetupTrace, Testbed};
+use sentinel_devicesim::{DeviceModel, SetupTrace, Testbed};
 use sentinel_netproto::{MacAddr, Timestamp};
 
 use crate::FleetConfig;
@@ -32,17 +37,118 @@ const TAG_JITTER: u64 = 0x4a_49_54_54; // "JITT"
 const TAG_ROAM: u64 = 0x52_4f_41_4d; // "ROAM"
 const TAG_LEAVE: u64 = 0x4c_45_41_56; // "LEAV"
 
-/// One home's fully derived simulation input.
-#[derive(Debug)]
-pub(crate) struct HomeWorkload {
-    /// Timestamp-ordered wire frames the home gateway ingests.
-    pub frames: Vec<(Timestamp, Vec<u8>)>,
+/// One home's fully derived simulation input, backed by reusable
+/// buffers (see the module docs).
+#[derive(Debug, Default)]
+pub struct HomeWorkload {
+    /// Frame slots; only the first `active` belong to the current home.
+    /// Kept at high-water length so the per-slot byte buffers survive
+    /// [`HomeWorkload::rebuild`] and are re-encoded in place.
+    frames: Vec<(Timestamp, Vec<u8>)>,
+    /// Frames of the current home.
+    active: usize,
     /// MAC of the local device that roams away mid-setup, if any.
     pub roam_out: Option<MacAddr>,
     /// MAC of the neighbour's device that arrives mid-setup, if any.
     pub roam_in: Option<MacAddr>,
-    /// Devices that leave (rule removal) one tick after onboarding.
+    /// Devices that leave (rule removal) one tick after onboarding,
+    /// **sorted by MAC** so the settle loop can binary-search instead
+    /// of scanning (membership is all that matters: leave order is
+    /// decided by onboarding order, not by this list).
     pub leavers: Vec<MacAddr>,
+    /// Derivation scratch: the home's setup traces and per-trace start
+    /// offsets.
+    traces: Vec<SetupTrace>,
+    offsets: Vec<Duration>,
+    /// Interleave order scratch: `(shifted timestamp, trace, packet)` —
+    /// the exact sort key of [`sentinel_devicesim::interleave_at`], so
+    /// sorting indices instead of cloned packets yields the same stream.
+    order: Vec<(Timestamp, u32, u32)>,
+}
+
+impl HomeWorkload {
+    /// Timestamp-ordered wire frames the home gateway ingests.
+    pub fn frames(&self) -> &[(Timestamp, Vec<u8>)] {
+        &self.frames[..self.active]
+    }
+
+    /// Derives `home`'s complete workload into this buffer, replacing
+    /// whatever home it previously held. Equivalent to (and pinned
+    /// against) building a fresh workload with [`build_home_workload`];
+    /// only the allocations are reused.
+    pub fn rebuild(&mut self, config: &FleetConfig, devices: &[DeviceModel], home: usize) {
+        let testbed = Testbed::new(config.seed);
+        self.traces.clear();
+        self.offsets.clear();
+        self.leavers.clear();
+        self.roam_out = None;
+        self.roam_in = None;
+
+        let out_slot = is_roam_origin(config, home).then(|| roam_slot(config, home));
+        for slot in 0..config.devices_per_home {
+            let mut trace = slot_trace(config, devices, &testbed, home, slot);
+            if out_slot == Some(slot) && trace.packets.len() >= 2 {
+                // This device walks out mid-setup: only the prefix of its
+                // traffic reaches this gateway.
+                trace.packets.truncate(roam_split(&trace));
+                self.roam_out = Some(trace.mac);
+            } else if config.leave_every > 0
+                && mix(config.seed, home as u64, slot as u64, TAG_LEAVE)
+                    .is_multiple_of(config.leave_every as u64)
+            {
+                self.leavers.push(trace.mac);
+            }
+            self.offsets.push(join_offset(config, home, slot));
+            self.traces.push(trace);
+        }
+
+        // Re-derive the neighbour's roamer and append its remaining setup
+        // traffic as a late arrival.
+        if config.roaming_enabled() {
+            let neighbour = (home + config.homes - 1) % config.homes;
+            if is_roam_origin(config, neighbour) && roam_destination(config, neighbour) == home {
+                let slot = roam_slot(config, neighbour);
+                let full = slot_trace(config, devices, &testbed, neighbour, slot);
+                if full.packets.len() >= 2 {
+                    let mut suffix = full;
+                    let split = roam_split(&suffix);
+                    suffix.packets.drain(..split);
+                    self.roam_in = Some(suffix.mac);
+                    self.offsets.push(roam_arrival(config, home));
+                    self.traces.push(suffix);
+                }
+            }
+        }
+
+        // Interleave by index: sort `(shifted ts, trace, packet)` keys —
+        // the same total order `interleave_at` uses (keys are unique, so
+        // unstable sorting cannot reorder) — then encode each packet
+        // straight into its reused frame slot. Frame bytes are timestamp-
+        // independent, so no packet is ever cloned or re-stamped.
+        self.order.clear();
+        for (trace_index, trace) in self.traces.iter().enumerate() {
+            let offset = self.offsets[trace_index];
+            for (packet_index, packet) in trace.packets.iter().enumerate() {
+                self.order.push((
+                    packet.timestamp + offset,
+                    trace_index as u32,
+                    packet_index as u32,
+                ));
+            }
+        }
+        self.order.sort_unstable();
+        self.active = self.order.len();
+        if self.frames.len() < self.active {
+            self.frames
+                .resize_with(self.active, || (Timestamp::ZERO, Vec::new()));
+        }
+        for (slot, &(timestamp, trace_index, packet_index)) in self.order.iter().enumerate() {
+            let (stamp, buf) = &mut self.frames[slot];
+            *stamp = timestamp;
+            self.traces[trace_index as usize].packets[packet_index as usize].encode_into(buf);
+        }
+        self.leavers.sort_unstable();
+    }
 }
 
 /// Whether `home` contributes a roaming device (to `home + 1`).
@@ -100,61 +206,14 @@ fn roam_split(trace: &SetupTrace) -> usize {
     (trace.packets.len() / 2).max(1)
 }
 
-/// Builds the complete workload of one home.
-pub(crate) fn build_home_workload(
+/// Builds the complete workload of one home into a fresh buffer (the
+/// one-shot convenience over [`HomeWorkload::rebuild`]).
+pub fn build_home_workload(
     config: &FleetConfig,
     devices: &[DeviceModel],
     home: usize,
 ) -> HomeWorkload {
-    let testbed = Testbed::new(config.seed);
-    let mut traces = Vec::with_capacity(config.devices_per_home + 1);
-    let mut offsets = Vec::with_capacity(config.devices_per_home + 1);
-    let mut leavers = Vec::new();
-    let mut roam_out = None;
-
-    let out_slot = is_roam_origin(config, home).then(|| roam_slot(config, home));
-    for slot in 0..config.devices_per_home {
-        let mut trace = slot_trace(config, devices, &testbed, home, slot);
-        if out_slot == Some(slot) && trace.packets.len() >= 2 {
-            // This device walks out mid-setup: only the prefix of its
-            // traffic reaches this gateway.
-            trace.packets.truncate(roam_split(&trace));
-            roam_out = Some(trace.mac);
-        } else if config.leave_every > 0
-            && mix(config.seed, home as u64, slot as u64, TAG_LEAVE)
-                .is_multiple_of(config.leave_every as u64)
-        {
-            leavers.push(trace.mac);
-        }
-        offsets.push(join_offset(config, home, slot));
-        traces.push(trace);
-    }
-
-    // Re-derive the neighbour's roamer and append its remaining setup
-    // traffic as a late arrival.
-    let mut roam_in = None;
-    if config.roaming_enabled() {
-        let neighbour = (home + config.homes - 1) % config.homes;
-        if is_roam_origin(config, neighbour) && roam_destination(config, neighbour) == home {
-            let slot = roam_slot(config, neighbour);
-            let full = slot_trace(config, devices, &testbed, neighbour, slot);
-            if full.packets.len() >= 2 {
-                let mut suffix = full;
-                let split = roam_split(&suffix);
-                suffix.packets.drain(..split);
-                roam_in = Some(suffix.mac);
-                offsets.push(roam_arrival(config, home));
-                traces.push(suffix);
-            }
-        }
-    }
-
-    let packets = interleave_at(&traces, |index| offsets[index]);
-    let frames = packets.iter().map(|p| (p.timestamp, p.encode())).collect();
-    HomeWorkload {
-        frames,
-        roam_out,
-        roam_in,
-        leavers,
-    }
+    let mut workload = HomeWorkload::default();
+    workload.rebuild(config, devices, home);
+    workload
 }

@@ -138,6 +138,36 @@ impl BatchMatrix {
     pub fn row(&self, row: usize) -> &[f64] {
         &self.values[row * self.features..(row + 1) * self.features]
     }
+
+    /// Empties the matrix in place, keeping the backing allocation.
+    ///
+    /// Pairs with [`BatchMatrix::push_row`] for callers that build a
+    /// batch incrementally (e.g. only the rows a cache did not already
+    /// answer) instead of from one [`BatchMatrix::fill`] iterator.
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        self.features = 0;
+        self.values.clear();
+    }
+
+    /// Appends one row to the current batch, reusing capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` does not match the width of the rows already
+    /// in the batch.
+    pub fn push_row(&mut self, cells: &[f64]) {
+        if self.rows == 0 {
+            self.features = cells.len();
+        }
+        assert_eq!(
+            cells.len(),
+            self.features,
+            "batch rows must all share one width"
+        );
+        self.values.extend_from_slice(cells);
+        self.rows += 1;
+    }
 }
 
 /// Walks the `active` lanes (matrix-row offsets from `base`) through

@@ -47,6 +47,7 @@
 
 pub mod binning;
 pub mod crossval;
+pub mod hash;
 mod data;
 mod forest;
 pub mod kernel;

@@ -330,6 +330,16 @@ impl Packet {
     /// Encodes the packet to wire bytes (Ethernet frame, no FCS).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::with_capacity(128);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Encodes into a caller-owned buffer (cleared first), so a caller
+    /// replaying many packets can reuse one allocation per frame slot
+    /// instead of allocating a fresh `Vec` per packet. Produces exactly
+    /// the bytes of [`Packet::encode`].
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
         let ethertype = match &self.body {
             PacketBody::Arp(_) => EtherType::Arp,
             PacketBody::Eapol(_) => EtherType::Eapol,
@@ -340,27 +350,28 @@ impl Packet {
             PacketBody::Ipv6 { .. } => EtherType::Ipv6,
             PacketBody::Other { ethertype, .. } => EtherType::from_u16(*ethertype),
         };
-        EthernetHeader::new(self.dst, self.src, ethertype).encode(&mut buf);
+        EthernetHeader::new(self.dst, self.src, ethertype).encode(buf);
         match &self.body {
-            PacketBody::Arp(arp) => arp.encode(&mut buf),
-            PacketBody::Eapol(eapol) => eapol.encode(&mut buf),
+            PacketBody::Arp(arp) => arp.encode(buf),
+            PacketBody::Eapol(eapol) => eapol.encode(buf),
             PacketBody::Llc { header, payload } => {
-                header.encode(&mut buf);
+                header.encode(buf);
                 buf.put_slice(payload);
             }
-            PacketBody::Ipv4 { header, transport } => {
-                let body = encode_transport(transport, None);
-                header.encode(&mut buf, body.len());
-                buf.put_slice(&body);
-            }
-            PacketBody::Ipv6 { header, transport } => {
-                let body = encode_transport(transport, Some((header.src, header.dst)));
-                header.encode(&mut buf, body.len());
-                buf.put_slice(&body);
-            }
+            PacketBody::Ipv4 { header, transport } => TRANSPORT_SCRATCH.with(|cell| {
+                let (body, nested) = &mut *cell.borrow_mut();
+                encode_transport(transport, None, body, nested);
+                header.encode(buf, body.len());
+                buf.put_slice(body);
+            }),
+            PacketBody::Ipv6 { header, transport } => TRANSPORT_SCRATCH.with(|cell| {
+                let (body, nested) = &mut *cell.borrow_mut();
+                encode_transport(transport, Some((header.src, header.dst)), body, nested);
+                header.encode(buf, body.len());
+                buf.put_slice(body);
+            }),
             PacketBody::Other { payload, .. } => buf.put_slice(payload),
         }
-        buf
     }
 
     /// Parses a packet from wire bytes.
@@ -532,27 +543,44 @@ impl Packet {
     }
 }
 
-fn encode_transport(transport: &Transport, v6: Option<(Ipv6Addr, Ipv6Addr)>) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(64);
+thread_local! {
+    /// Per-thread transport-encode scratch: the IP body (its length must
+    /// be known before the IP header can be written) and the nested UDP
+    /// payload (same, for the UDP length field). Reused across packets so
+    /// bulk encoders ([`Packet::encode_into`] in a replay loop) allocate
+    /// nothing per packet.
+    static TRANSPORT_SCRATCH: std::cell::RefCell<(Vec<u8>, Vec<u8>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Encodes `transport` into `buf` (cleared first). `scratch` is a second
+/// buffer for the UDP-payload length pre-pass; neither application
+/// encoder recurses into this function, so the two borrows never nest.
+fn encode_transport(
+    transport: &Transport,
+    v6: Option<(Ipv6Addr, Ipv6Addr)>,
+    buf: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+) {
+    buf.clear();
     match transport {
         Transport::Tcp { header, payload } => {
-            header.encode(&mut buf);
-            payload.encode(&mut buf);
+            header.encode(buf);
+            payload.encode(buf);
         }
         Transport::Udp { header, payload } => {
-            let mut body = Vec::new();
-            payload.encode(&mut body);
-            header.encode(&mut buf, body.len());
-            buf.put_slice(&body);
+            scratch.clear();
+            payload.encode(scratch);
+            header.encode(buf, scratch.len());
+            buf.put_slice(scratch);
         }
-        Transport::Icmp(msg) => msg.encode(&mut buf),
+        Transport::Icmp(msg) => msg.encode(buf),
         Transport::Icmpv6(msg) => {
             let (src, dst) = v6.unwrap_or((Ipv6Addr::UNSPECIFIED, Ipv6Addr::UNSPECIFIED));
-            msg.encode(&mut buf, src, dst);
+            msg.encode(buf, src, dst);
         }
         Transport::Other { payload, .. } => buf.put_slice(payload),
     }
-    buf
 }
 
 fn parse_transport(

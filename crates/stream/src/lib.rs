@@ -60,7 +60,7 @@ mod session;
 mod stats;
 mod table;
 
-pub use runtime::{StreamConfig, StreamRuntime};
+pub use runtime::{apply_onboarding, Completion, StreamConfig, StreamRuntime};
 pub use session::{CompletionReason, Session, SessionEvent};
 pub use stats::StreamStats;
 pub use table::{Admission, SessionTable};

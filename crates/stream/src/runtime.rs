@@ -121,25 +121,39 @@ struct Shard {
     scratch: AssessScratch,
 }
 
-/// A finished setup phase, assessed in-shard and queued for in-order
+/// A finished setup phase, queued for assessment and in-order
 /// enforcement.
 ///
 /// The `(seq, mac)` pair is both the deterministic merge key and the
 /// assessment key: keyed assessment ([`AssessKey`]) makes the service's
 /// answer a pure function of the trained model, the fingerprints and
 /// this key, so shards can consult the service concurrently without the
-/// answers depending on shard scheduling. Only enforcement-rule
-/// installation and report emission still happen serially, in `(seq,
-/// mac)` order, after the parallel pass joins.
-struct Completion {
+/// answers depending on shard scheduling — and, equally, so a caller
+/// can *defer* assessment entirely ([`StreamRuntime::ingest_frames_deferred`])
+/// and batch completions from many gateways through one keyed service
+/// call with byte-identical results. Only enforcement-rule installation
+/// and report emission must happen in `(seq, mac)` order.
+pub struct Completion {
     /// Stream sequence of the packet that closed the session (for gap
     /// and cap completions) or of its last absorbed packet (flush).
-    seq: u64,
-    mac: MacAddr,
-    setup_packets: usize,
-    reason: CompletionReason,
-    full: Fingerprint,
-    fixed: FixedFingerprint,
+    pub seq: u64,
+    /// The completing device's MAC address.
+    pub mac: MacAddr,
+    /// Packets absorbed during the setup phase.
+    pub setup_packets: usize,
+    /// What ended the setup phase.
+    pub reason: CompletionReason,
+    /// The full fingerprint `F` (stage-2 input).
+    pub full: Fingerprint,
+    /// The fixed-width fingerprint `F'` (stage-1 input).
+    pub fixed: FixedFingerprint,
+}
+
+impl Completion {
+    /// The deterministic assessment key of this completion.
+    pub fn assess_key(&self) -> AssessKey {
+        AssessKey::new(self.seq, self.mac)
+    }
 }
 
 /// Per-shard results of one ingest round.
@@ -343,6 +357,50 @@ fn assess_completions<S: SecurityService>(
     service.assess_keyed_batch_into(&items, scratch, responses);
 }
 
+/// The stats-and-enforcement tail of onboarding one assessed device:
+/// records the completion in `stats`, builds the enforcement rule the
+/// response's isolation level calls for, installs it into `module`, and
+/// returns the onboarding report.
+///
+/// This is the exact finalize path of [`StreamRuntime`]'s own ingest
+/// loop (its `onboard` delegates here), exposed so a caller that
+/// deferred assessment ([`StreamRuntime::ingest_frames_deferred`]) can
+/// replay the identical serial tail against its own stats and
+/// enforcement state — same counters, same rule cache transitions,
+/// byte for byte.
+pub fn apply_onboarding(
+    stats: &mut StreamStats,
+    module: &mut EnforcementModule,
+    completion: &Completion,
+    response: ServiceResponse,
+) -> OnboardingReport {
+    stats.record_completion(completion.reason);
+    match response.identification.outcome {
+        Outcome::Identified { .. } => stats.identified += 1,
+        Outcome::Unknown => stats.unknown += 1,
+    }
+    let rule = match response.isolation {
+        IsolationLevel::Strict => {
+            stats.strict += 1;
+            EnforcementRule::strict(completion.mac)
+        }
+        IsolationLevel::Restricted => {
+            stats.restricted += 1;
+            EnforcementRule::restricted(completion.mac, response.permitted_endpoints.iter().copied())
+        }
+        IsolationLevel::Trusted => {
+            stats.trusted += 1;
+            EnforcementRule::trusted(completion.mac)
+        }
+    };
+    module.install_rule(rule);
+    OnboardingReport {
+        mac: completion.mac,
+        setup_packets: completion.setup_packets,
+        response,
+    }
+}
+
 /// FNV-1a shard assignment: fixed, hasher-independent, so shard
 /// membership never varies across runs, platforms or thread counts.
 fn shard_of(mac: MacAddr, shards: usize) -> usize {
@@ -496,6 +554,90 @@ impl<S: SecurityService + Sync> StreamRuntime<S> {
         self.absorb(outcomes, true)
     }
 
+    /// Ingests one batch of interleaved raw frames **without assessing**
+    /// the completed setups: finished sessions are appended to `out` as
+    /// [`Completion`]s (in `(seq, mac)` stream order within this call)
+    /// for the caller to assess later — typically pooled across many
+    /// gateways into one large keyed batch, which the v2 pinned RNG
+    /// contract makes byte-identical to in-line assessment at any
+    /// pooling granularity. Returns how many completions this call
+    /// appended.
+    ///
+    /// Session state machines, shard assignment, eviction and every
+    /// ingest-side counter behave exactly as in
+    /// [`StreamRuntime::ingest_frames`]; only assessment, rule
+    /// installation and report emission are left to the caller (see
+    /// [`apply_onboarding`]). Shards are walked serially through
+    /// `&mut` access — no lock traffic, no per-call outcome
+    /// collection — so a warm runtime makes **zero heap allocations**
+    /// on a steady-state tick (no new sessions, no completions).
+    pub fn ingest_frames_deferred(
+        &mut self,
+        frames: &[(Timestamp, Vec<u8>)],
+        out: &mut Vec<Completion>,
+    ) -> usize {
+        self.bucket(frames.iter().map(|(_, frame)| {
+            (frame.len() >= 14)
+                .then(|| MacAddr::new(frame[6..12].try_into().expect("checked length")))
+        }));
+        let start = out.len();
+        let mut resident = 0usize;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let outcome = shard.get_mut().process_frames(&self.buckets[s], frames, &self.config);
+            self.stats.packets_in += outcome.packets;
+            self.stats.sessions_opened += outcome.opened;
+            self.stats.sessions_evicted += outcome.evicted;
+            self.stats.packets_ignored += outcome.ignored;
+            self.stats.frames_malformed += outcome.malformed;
+            self.stats.frames_decoded += outcome.decoded;
+            resident += outcome.resident;
+            out.extend(outcome.completions);
+        }
+        self.stats.peak_resident_sessions = self.stats.peak_resident_sessions.max(resident);
+        // Unstable sort: `seq` is unique per completion, so the order is
+        // total and stability is irrelevant — and unlike the stable
+        // sort, this never allocates.
+        out[start..].sort_unstable_by_key(|c| (c.seq, c.mac));
+        out.len() - start
+    }
+
+    /// The deferred twin of [`StreamRuntime::flush`]: finalizes every
+    /// in-flight session into `out` (in `(seq, mac)` order within this
+    /// call) without assessing. Returns how many completions this call
+    /// appended.
+    pub fn flush_deferred(&mut self, out: &mut Vec<Completion>) -> usize {
+        let start = out.len();
+        for shard in self.shards.iter_mut() {
+            let outcome = shard.get_mut().flush();
+            out.extend(outcome.completions);
+        }
+        out[start..].sort_unstable_by_key(|c| (c.seq, c.mac));
+        out.len() - start
+    }
+
+    /// Returns the runtime to its freshly-constructed state while
+    /// keeping every allocation warm: session tables, shard buckets,
+    /// assessment scratch and the onboarded-MAC sets retain their
+    /// capacity but drop all contents; enforcement module, switch,
+    /// reports, stats and the sequence counter start over.
+    ///
+    /// A pooled worker that `reset()`s one runtime between gateways
+    /// observes exactly the behavior of constructing a new runtime with
+    /// the same service and config — pinned by the fleet byte-identity
+    /// tests — without re-paying table and scratch growth each time.
+    pub fn reset(&mut self) {
+        for shard in self.shards.iter_mut() {
+            let shard = shard.get_mut();
+            shard.table.clear();
+            shard.onboarded.clear();
+        }
+        self.module = EnforcementModule::new();
+        self.switch = OvsSwitch::lab();
+        self.reports.clear();
+        self.stats = StreamStats::default();
+        self.next_seq = 0;
+    }
+
     /// Ingests one batch of interleaved packets, returning the devices
     /// whose setup phase completed inside it (in stream order).
     pub fn ingest(&mut self, packets: &[Packet]) -> Vec<OnboardingReport> {
@@ -614,34 +756,7 @@ impl<S: SecurityService + Sync> StreamRuntime<S> {
     /// report — the gateway's finalize path (the assessment itself
     /// already ran in-shard during the parallel pass).
     fn onboard(&mut self, completion: Completion, response: ServiceResponse) -> OnboardingReport {
-        self.stats.record_completion(completion.reason);
-        match response.identification.outcome {
-            Outcome::Identified { .. } => self.stats.identified += 1,
-            Outcome::Unknown => self.stats.unknown += 1,
-        }
-        let rule = match response.isolation {
-            IsolationLevel::Strict => {
-                self.stats.strict += 1;
-                EnforcementRule::strict(completion.mac)
-            }
-            IsolationLevel::Restricted => {
-                self.stats.restricted += 1;
-                EnforcementRule::restricted(
-                    completion.mac,
-                    response.permitted_endpoints.iter().copied(),
-                )
-            }
-            IsolationLevel::Trusted => {
-                self.stats.trusted += 1;
-                EnforcementRule::trusted(completion.mac)
-            }
-        };
-        self.module.install_rule(rule);
-        let report = OnboardingReport {
-            mac: completion.mac,
-            setup_packets: completion.setup_packets,
-            response,
-        };
+        let report = apply_onboarding(&mut self.stats, &mut self.module, &completion, response);
         self.reports.insert(completion.mac, report.clone());
         report
     }

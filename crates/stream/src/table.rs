@@ -101,6 +101,13 @@ impl SessionTable {
         self.sessions.remove(&mac)
     }
 
+    /// Drops every resident session while keeping the table's
+    /// allocation warm — the pooled-runtime reset path
+    /// ([`crate::StreamRuntime::reset`]).
+    pub fn clear(&mut self) {
+        self.sessions.clear();
+    }
+
     /// Drains every resident session, ordered by when it was opened
     /// (then MAC), for deterministic end-of-stream flushing.
     pub fn drain_ordered(&mut self) -> Vec<(MacAddr, Session)> {
